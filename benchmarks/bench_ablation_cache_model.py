@@ -1,0 +1,64 @@
+"""Ablation: exact LRU vs vectorised reuse-distance approximation.
+
+The corpus sweeps use the vectorised time-distance model
+(:func:`repro.gpu.cache.approx_lru_hits`); this bench quantifies its
+accuracy against the exact stack-distance simulator on real kernel access
+streams, and its speed advantage (the reason it exists).
+"""
+
+import time
+
+import numpy as np
+
+from conftest import emit
+from repro.datasets import hidden_clusters, power_law_rows, uniform_random
+from repro.gpu.cache import approx_lru_hits, lru_hits
+from repro.gpu.trace import block_access_stream
+
+
+def _streams():
+    return {
+        "uniform": block_access_stream(uniform_random(1200, 1200, 8, seed=0), 4),
+        "powerlaw": block_access_stream(power_law_rows(1200, 1200, 10, seed=0), 4),
+        "hidden": block_access_stream(hidden_clusters(150, 8, 1200, 16, seed=0), 4),
+    }
+
+
+def _compare(streams, capacity=128, slack=4.0):
+    rows = []
+    for name, stream in streams.items():
+        t0 = time.perf_counter()
+        exact = lru_hits(stream, capacity)
+        t_exact = time.perf_counter() - t0
+        lower = approx_lru_hits(stream, capacity, slack=1.0)
+        t0 = time.perf_counter()
+        approx = approx_lru_hits(stream, capacity, slack=slack)
+        t_approx = time.perf_counter() - t0
+        rows.append((name, stream.size, exact.hit_rate, lower.hit_rate,
+                     approx.hit_rate, t_exact, t_approx))
+    return rows
+
+
+def test_ablation_cache_model_accuracy(benchmark):
+    streams = _streams()
+    rows = benchmark.pedantic(_compare, args=(streams,), rounds=1, iterations=1)
+
+    lines = ["Ablation — exact LRU vs reuse-distance approximation (capacity=128)",
+             f"{'stream':>10}{'accesses':>10}{'exact':>9}{'slack=1':>9}{'slack=4':>9}"
+             f"{'exact(s)':>10}{'approx(s)':>11}{'speedup':>9}"]
+    for name, n, he, hl, ha, te, ta in rows:
+        lines.append(
+            f"{name:>10}{n:>10}{he:>8.1%}{hl:>9.1%}{ha:>9.1%}{te:>10.3f}{ta:>11.4f}"
+            f"{te / max(ta, 1e-9):>8.0f}x"
+        )
+    emit(benchmark, "\n".join(lines))
+
+    for name, n, hit_exact, hit_lower, hit_approx, t_exact, t_approx in rows:
+        # slack=1 is a guaranteed lower bound (stack distance <= time
+        # distance, proved in repro.gpu.cache and property-tested).
+        assert hit_lower <= hit_exact + 1e-12, name
+        # slack=4 (the corpus setting) stays within 30 percentage points
+        # on every stream class.
+        assert abs(hit_exact - hit_approx) < 0.30, name
+        # Speed: the vectorised model must be at least 5x faster.
+        assert t_approx * 5 < t_exact, name

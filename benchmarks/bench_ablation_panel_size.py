@@ -1,0 +1,54 @@
+"""Ablation: ASpT row-panel height.
+
+Taller panels give each dense column more chances to reach the density
+threshold (higher dense ratio) but dilute intra-panel similarity after
+clustering; the modelled kernel time exposes the trade-off.  The paper
+treats panel height as an ASpT-inherited constant; this bench shows the
+pipeline is robust across a 16x range.
+"""
+
+from conftest import emit
+from repro.datasets import hidden_clusters
+from repro.experiments.config import ExperimentConfig
+from repro.gpu import GPUExecutor
+from repro.reorder import ReorderConfig, build_plan
+
+
+def _sweep(matrix, executor):
+    rows = []
+    for panel_height in (4, 8, 16, 32, 64):
+        plan = build_plan(
+            matrix,
+            ReorderConfig(
+                panel_height=panel_height, threshold_size=32, force_round1=True
+            ),
+        )
+        cost = executor.spmm_cost(plan.cost_view(), 512, "aspt")
+        rows.append(
+            (panel_height, plan.stats.dense_ratio_after, cost.time_s)
+        )
+    return rows
+
+
+def test_ablation_panel_height(benchmark):
+    matrix = hidden_clusters(200, 8, 4096, 20, noise=0.1, seed=0)
+    device, cost_cfg = ExperimentConfig(scale="small").effective_model()
+    executor = GPUExecutor(device, cost_cfg)
+
+    rows = benchmark.pedantic(
+        _sweep, args=(matrix, executor), rounds=1, iterations=1
+    )
+    lines = ["Ablation — panel height (hidden-cluster matrix, round 1 forced)",
+             f"{'panel':>6}{'dense ratio':>13}{'modelled spmm':>15}"]
+    for ph, ratio, t in rows:
+        lines.append(f"{ph:>6}{ratio:>13.3f}{t * 1e6:>13.1f}us")
+    emit(benchmark, "\n".join(lines))
+
+    ratios = {ph: ratio for ph, ratio, _ in rows}
+    times = {ph: t for ph, _, t in rows}
+    # Reordering groups ~8-row clusters: panels >= the cluster size must
+    # capture the bulk of the non-zeros in dense tiles.
+    assert ratios[8] > 0.5
+    assert ratios[16] > 0.5
+    # And no sweep point should collapse (robustness claim).
+    assert max(times.values()) / min(times.values()) < 3.0

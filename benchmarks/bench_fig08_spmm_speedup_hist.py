@@ -1,0 +1,23 @@
+"""Paper Fig. 8: SpMM speedup distribution vs cuSPARSE, all matrices.
+
+Expectation (shape): ASpT-RR shifts mass out of the slowdown / <10% bands
+into the higher-speedup bands relative to ASpT-NR.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.experiments import fig8_speedup_histogram
+
+
+@pytest.mark.parametrize("k", [512, 1024])
+def test_fig8_speedup_histogram(benchmark, records, k):
+    out = benchmark(fig8_speedup_histogram, records, k)
+    emit(benchmark, out["text"], bands_nr=out["bands_nr"], bands_rr=out["bands_rr"])
+
+    def mass_above(bands, labels):
+        return sum(bands[b] for b in labels)
+
+    high = ("speedup 10%~50%", "speedup 50%~100%", "speedup >100%")
+    # RR must move mass upward relative to NR.
+    assert mass_above(out["bands_rr"], high) >= mass_above(out["bands_nr"], high)

@@ -1,0 +1,33 @@
+"""Paper Fig. 9: ΔDenseRatio vs ΔAvgSim, marked by speedup/slowdown.
+
+Expectation (shape): points with both deltas positive show speedup; the
+majority of reordered matrices improve (paper: 613/1084 overall; within the
+gated subset nearly all).
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.experiments import fig9_effectiveness_scatter
+
+
+def test_fig9_effectiveness_scatter(benchmark, records):
+    out = benchmark(fig9_effectiveness_scatter, records, 512)
+    emit(
+        benchmark,
+        out["text"],
+        n_improved=out["n_improved"],
+        n_total=out["n_total"],
+    )
+    assert out["n_total"] > 0
+    # Most gated matrices must improve.
+    assert out["n_improved"] / out["n_total"] > 0.5
+
+    # Both-deltas-positive quadrant must be all speedups (the paper's
+    # cleanest claim about Fig. 9).
+    dx = np.array(out["delta_dense_ratio"])
+    dy = np.array(out["delta_avg_sim"])
+    sp = np.array(out["speedup"])
+    both_up = (dx > 0.01) & (dy > 0.01)
+    if both_up.any():
+        assert (sp[both_up] >= 1.0).all()

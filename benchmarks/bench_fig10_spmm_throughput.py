@@ -1,0 +1,25 @@
+"""Paper Fig. 10: SpMM throughput (GFLOP/s) of cuSPARSE / ASpT-NR / ASpT-RR
+over the matrices needing reordering, sorted by ASpT-NR throughput.
+
+Expectation (shape): the RR series dominates the NR series ("row-reordering
+brings consistent speedup to SpMM with ASpT").
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.experiments import fig10_throughput_series
+
+
+@pytest.mark.parametrize("k", [512, 1024])
+def test_fig10_spmm_throughput(benchmark, records, k):
+    out = benchmark(fig10_throughput_series, records, k)
+    emit(benchmark, out["text"])
+    nr = np.array(out["series"]["nr(aspt)"])
+    rr = np.array(out["series"]["rr(aspt)"])
+    assert nr.size > 0
+    # Consistent improvement: RR >= NR on ~all matrices (tiny tolerance for
+    # gate borderline cases), and strictly better in aggregate.
+    assert (rr >= nr * 0.999).mean() > 0.9
+    assert rr.mean() > nr.mean()

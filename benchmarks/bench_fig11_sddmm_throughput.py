@@ -1,0 +1,22 @@
+"""Paper Fig. 11: SDDMM throughput (GFLOP/s), ASpT-NR vs ASpT-RR.
+
+Expectation (shape): same dominance as Fig. 10; the paper's SDDMM gains are
+at least as large as SpMM's.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.experiments import fig11_throughput_series
+
+
+@pytest.mark.parametrize("k", [512, 1024])
+def test_fig11_sddmm_throughput(benchmark, records, k):
+    out = benchmark(fig11_throughput_series, records, k)
+    emit(benchmark, out["text"])
+    nr = np.array(out["series"]["nr(aspt)"])
+    rr = np.array(out["series"]["rr(aspt)"])
+    assert nr.size > 0
+    assert (rr >= nr * 0.999).mean() > 0.9
+    assert rr.mean() > nr.mean()

@@ -1,0 +1,31 @@
+"""Paper Fig. 12: preprocessing wall-clock distribution.
+
+The paper reports 157 ms – 298 s (mean 69.4 s, median 59.6 s) on a 14-core
+Xeon for matrices of 10^4–10^7 rows.  Our matrices are ~6x smaller and the
+implementation is single-process NumPy rather than OpenMP C++, so absolute
+values differ; the reproduced *shape* is the long-tailed distribution and
+the fact that preprocessing stays within a few orders of magnitude of the
+kernel time (Tables 3/4 check the ratios).
+"""
+
+from conftest import emit
+from repro.experiments import fig12_preprocessing_times
+
+
+def test_fig12_preprocessing_times(benchmark, records):
+    out = benchmark(fig12_preprocessing_times, records)
+    stats = out["stats"]
+    emit(
+        benchmark,
+        out["text"]
+        + (
+            f"\nmeasured: n={stats['n']}  min={stats['min_s'] * 1e3:.0f}ms  "
+            f"max={stats['max_s']:.2f}s  mean={stats['mean_s']:.2f}s  "
+            f"median={stats['median_s']:.2f}s"
+            "\npaper   : min=157ms  max=298s  mean=69.38s  median=59.58s "
+            "(10^4-10^7-row matrices, OpenMP C++)"
+        ),
+        **stats,
+    )
+    assert stats["n"] > 0
+    assert stats["max_s"] > stats["min_s"]

@@ -1,0 +1,68 @@
+"""Extension bench: online (streaming) row placement vs the batch pipeline.
+
+`repro.reorder.OnlineReorderer` ingests rows one at a time; this bench
+streams a taste-clustered rating matrix through it and compares (a) the
+preprocessing cost and (b) the resulting modelled SpMM time against the
+full batch pipeline and the arrival order.  Expectation: online reaches
+batch-level quality at a fraction of the preprocessing cost.
+"""
+
+import time
+
+from conftest import emit
+from repro.aspt import tile_matrix
+from repro.datasets import bipartite_ratings
+from repro.experiments.config import ExperimentConfig
+from repro.gpu import GPUExecutor
+from repro.reorder import OnlineReorderer, ReorderConfig, build_plan
+from repro.sparse import permute_csr_rows
+
+
+def _measure():
+    ratings = bipartite_ratings(
+        2048, 2048, 20, n_taste_groups=64, concentration=0.95, seed=7
+    )
+    t0 = time.perf_counter()
+    online = OnlineReorderer(ratings.n_cols, siglen=128, bsize=2, seed=0)
+    online.insert_matrix(ratings)
+    online_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    plan = build_plan(ratings, ReorderConfig(panel_height=16, force_round1=True))
+    batch_s = time.perf_counter() - t0
+
+    device, cost = ExperimentConfig(scale="small").effective_model()
+    executor = GPUExecutor(device, cost)
+    arrival_t = executor.spmm_cost(tile_matrix(ratings, 16), 512, "aspt").time_s
+    online_t = executor.spmm_cost(
+        tile_matrix(permute_csr_rows(ratings, online.order()), 16), 512, "aspt"
+    ).time_s
+    batch_t = executor.spmm_cost(plan.cost_view(), 512, "aspt").time_s
+    return {
+        "online_preproc_s": online_s,
+        "batch_preproc_s": batch_s,
+        "arrival_us": arrival_t * 1e6,
+        "online_us": online_t * 1e6,
+        "batch_us": batch_t * 1e6,
+        "online_speedup": arrival_t / online_t,
+        "batch_speedup": arrival_t / batch_t,
+    }
+
+
+def test_online_matches_batch_quality(benchmark):
+    out = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    emit(
+        benchmark,
+        "Online (streaming) vs batch reordering — rating matrix, K=512\n"
+        f"  preprocessing: online {out['online_preproc_s']:.2f}s, "
+        f"batch {out['batch_preproc_s']:.2f}s\n"
+        f"  modelled SpMM: arrival {out['arrival_us']:.1f}us, "
+        f"online {out['online_us']:.1f}us ({out['online_speedup']:.2f}x), "
+        f"batch {out['batch_us']:.1f}us ({out['batch_speedup']:.2f}x)",
+        **out,
+    )
+    # Online must recover at least ~85% of the batch pipeline's speedup...
+    assert out["online_speedup"] >= 0.85 * out["batch_speedup"]
+    assert out["online_speedup"] > 1.3
+    # ...at materially lower preprocessing cost.
+    assert out["online_preproc_s"] < out["batch_preproc_s"]

@@ -1,0 +1,89 @@
+"""The paper's central argument, reproduced as a measurement:
+
+    "Traditional vertex-reordering techniques for improving data locality
+    for SpMV will not work for SpMM either, because there is little
+    spatial locality among the corresponding elements in different rows
+    of the dense matrix."  (§1)
+
+Setup: a *staircase* matrix (row ``i`` holds columns ``[8i, 8i+8)``) with
+its rows and columns scrambled.  The staircase separates the two locality
+notions perfectly — adjacent rows touch **adjacent but disjoint** columns:
+
+* **SpMV** reads the dense vector at cache-line granularity, so restoring
+  the spatial order (the ideal outcome of any vertex reordering) packs 4
+  consecutive rows' operands into each 128 B line — a real speedup.
+* **SpMM (K=512)** reads a 2 KB dense row per non-zero; with every column
+  used exactly once there is no reuse for *any* ordering to create — the
+  ideal spatial reordering buys nothing, and the paper's LSH machinery
+  correctly finds no candidate pairs (the Fig. 7b automatic-detection
+  behaviour).
+"""
+
+import numpy as np
+
+from conftest import emit
+from repro.datasets import staircase
+from repro.experiments.config import ExperimentConfig
+from repro.gpu import GPUExecutor
+from repro.reorder import ReorderConfig, build_plan
+from repro.sparse import permute_csr_columns, permute_csr_rows
+from repro.util.arrayops import rank_of_permutation
+from repro.util.rng import as_generator
+
+
+def _measure():
+    rng = as_generator(11)
+    ordered = staircase(2000, 8, seed=rng)
+    row_shuffle = rng.permutation(ordered.n_rows).astype(np.int64)
+    col_shuffle = rng.permutation(ordered.n_cols).astype(np.int64)
+    scrambled = permute_csr_columns(
+        permute_csr_rows(ordered, row_shuffle), col_shuffle
+    )
+    # The *ideal* spatial reordering: exactly undo the scramble.
+    restored = permute_csr_rows(
+        permute_csr_columns(scrambled, rank_of_permutation(col_shuffle)),
+        rank_of_permutation(row_shuffle),
+    )
+    assert restored.same_pattern(ordered)
+
+    device, cost = ExperimentConfig(scale="small").effective_model()
+    executor = GPUExecutor(device, cost)
+
+    spmv_speedup = (
+        executor.spmv_cost(scrambled).time_s / executor.spmv_cost(restored).time_s
+    )
+    spmm_speedup = (
+        executor.spmm_cost(scrambled, 512, "rowwise").time_s
+        / executor.spmm_cost(restored, 512, "rowwise").time_s
+    )
+    # And the paper's own machinery on the scrambled matrix: LSH must find
+    # nothing (no two rows share a column).
+    plan = build_plan(scrambled, ReorderConfig(panel_height=16))
+    return {
+        "spmv_speedup": spmv_speedup,
+        "spmm_speedup": spmm_speedup,
+        "lsh_candidates": plan.stats.n_candidates_round1
+        + plan.stats.n_candidates_round2,
+        "row_order_identity": bool(
+            np.array_equal(plan.row_order, np.arange(scrambled.n_rows))
+        ),
+    }
+
+
+def test_spatial_reordering_helps_spmv_not_spmm(benchmark):
+    out = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    emit(
+        benchmark,
+        "Ideal spatial (vertex-style) reordering on a scrambled staircase\n"
+        f"  SpMV  speedup           : {out['spmv_speedup']:.2f}x  "
+        "(cache-line locality restored)\n"
+        f"  SpMM  speedup (K=512)   : {out['spmm_speedup']:.2f}x  "
+        "(no row reuse exists to create)\n"
+        f"  LSH candidate pairs     : {out['lsh_candidates']}  "
+        "(paper Fig. 7b: scattered matrices auto-detected)",
+        **out,
+    )
+    assert out["spmv_speedup"] > 1.3
+    assert 0.95 < out["spmm_speedup"] < 1.05
+    assert out["lsh_candidates"] == 0
+    assert out["row_order_identity"]

@@ -1,0 +1,55 @@
+"""Paper Table 2: SDDMM speedup bands of ASpT-RR vs ASpT-NR, gated subset.
+
+Paper values: max 3.19x/2.95x, median 1.45x, geomean 1.48x/1.49x; no
+slowdown row at all (every gated matrix improves).
+"""
+
+from conftest import emit
+from repro.experiments.tables import (
+    format_band_table,
+    needing_reordering,
+    records_at_k,
+    speedup_bands,
+    summary_stats,
+)
+
+_PAPER_TABLE2 = {
+    512: {"speedup 0%~10%": 11.3, "speedup 10%~50%": 44.4,
+          "speedup 50%~100%": 33.8, "speedup >100%": 10.5},
+    1024: {"speedup 0%~10%": 7.0, "speedup 10%~50%": 47.4,
+           "speedup 50%~100%": 35.7, "speedup >100%": 9.9},
+}
+
+
+def _compute(records):
+    subset = {k: needing_reordering(records_at_k(records, k)) for k in (512, 1024)}
+    bands = {k: speedup_bands(v, "sddmm_vs_nr") for k, v in subset.items()}
+    stats = {k: summary_stats(v, "sddmm_vs_nr") for k, v in subset.items()}
+    return bands, stats
+
+
+def test_table2_sddmm_speedup_bands(benchmark, records):
+    bands, stats = benchmark(_compute, records)
+    lines = [format_band_table("Table 2 — SDDMM: ASpT-RR vs ASpT-NR, gated subset", bands)]
+    for k in (512, 1024):
+        s = stats[k]
+        lines.append(
+            f"K={k}: n={s['n']}  max={s['max']:.2f}x  median={s['median']:.2f}x  "
+            f"geomean={s['geomean']:.2f}x   (paper: max "
+            f"{'3.19' if k == 512 else '2.95'}x, median 1.45x, geomean "
+            f"{'1.48' if k == 512 else '1.49'}x)"
+        )
+    lines.append("paper band percentages for reference:")
+    lines.append(format_band_table("", _PAPER_TABLE2))
+    emit(benchmark, "\n".join(lines), bands=bands, stats=stats)
+
+    for k in (512, 1024):
+        s = stats[k]
+        assert s["n"] > 0
+        assert s["geomean"] >= 1.0
+        assert s["max"] > 1.5
+        # Paper Table 2 has no slowdown row at all; our only "slowdowns"
+        # are banded matrices at 0.97-0.98x (a within-noise model artifact
+        # of panel-boundary column duplication), so the band stays small
+        # and shallow.
+        assert bands[k]["slowdown 0%~10%"] <= 10.0

@@ -1,0 +1,62 @@
+"""Paper Table 3: preprocessing-to-SpMM-kernel-time ratio bands.
+
+Paper: at K=512 >85% of matrices are under 10x; at K=1024 >90% under 5x
+(kernel time grows with K while preprocessing is K-independent, so the
+K=1024 column shifts down a band).  Our preprocessing is single-process
+NumPy vs their OpenMP C++ and our kernel times are model outputs, so the
+absolute ratios land higher; the reproduced shape is the *K=1024 column
+dominating the K=512 column* and the heavy concentration below the top
+band.
+"""
+
+from conftest import emit
+from repro.experiments.tables import (
+    format_band_table,
+    needing_reordering,
+    preprocessing_ratio_bands,
+    records_at_k,
+)
+
+_PAPER_TABLE3 = {
+    512: {"0x~5x": 24.8, "5x~10x": 61.1, "10x~100x": 12.7, ">100x": 1.4},
+    1024: {"0x~5x": 90.9, "5x~10x": 5.3, "10x~100x": 3.1, ">100x": 0.7},
+}
+
+
+def _compute(records):
+    bands = {
+        k: preprocessing_ratio_bands(
+            needing_reordering(records_at_k(records, k)), "spmm"
+        )
+        for k in (512, 1024)
+    }
+    import numpy as np
+
+    means = {
+        k: float(
+            np.mean(
+                [r.preprocess_ratio("spmm") for r in needing_reordering(records_at_k(records, k))]
+            )
+        )
+        for k in (512, 1024)
+    }
+    return bands, means
+
+
+def test_table3_preprocessing_ratio_spmm(benchmark, records):
+    bands, means = benchmark(_compute, records)
+    text = format_band_table(
+        "Table 3 — preprocessing / SpMM kernel-time ratio, gated subset", bands
+    ) + "\npaper reference:\n" + format_band_table("", _PAPER_TABLE3)
+    text += f"\nmean ratio: K=512 {means[512]:.0f}x, K=1024 {means[1024]:.0f}x"
+    emit(benchmark, text, bands=bands, means=means)
+
+    # Absolute bands are not comparable (pure-Python preprocessing vs a
+    # modelled GPU kernel lands far above the paper's C++/silicon ratios);
+    # the reproducible *shape* is that doubling K roughly halves the ratio
+    # because kernel time grows with K while preprocessing does not.
+    assert means[1024] < means[512] * 0.75
+    def low_mass(b):
+        return b["0x~5x"] + b["5x~10x"] + b["10x~100x"]
+
+    assert low_mass(bands[1024]) >= low_mass(bands[512])

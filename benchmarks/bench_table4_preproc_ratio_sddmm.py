@@ -1,0 +1,56 @@
+"""Paper Table 4: preprocessing-to-SDDMM-kernel-time ratio bands.
+
+Same construction and caveats as Table 3 (see
+``bench_table3_preproc_ratio_spmm.py``); the paper's SDDMM kernels are
+slightly slower than SpMM, so the ratios sit slightly lower.
+"""
+
+from conftest import emit
+from repro.experiments.tables import (
+    format_band_table,
+    needing_reordering,
+    preprocessing_ratio_bands,
+    records_at_k,
+)
+
+_PAPER_TABLE4 = {
+    512: {"0x~5x": 33.2, "5x~10x": 61.3, "10x~100x": 4.5, ">100x": 1.0},
+    1024: {"0x~5x": 95.7, "5x~10x": 2.4, "10x~100x": 1.7, ">100x": 0.2},
+}
+
+
+def _compute(records):
+    bands = {
+        k: preprocessing_ratio_bands(
+            needing_reordering(records_at_k(records, k)), "sddmm"
+        )
+        for k in (512, 1024)
+    }
+    import numpy as np
+
+    means = {
+        k: float(
+            np.mean(
+                [r.preprocess_ratio("sddmm") for r in needing_reordering(records_at_k(records, k))]
+            )
+        )
+        for k in (512, 1024)
+    }
+    return bands, means
+
+
+def test_table4_preprocessing_ratio_sddmm(benchmark, records):
+    bands, means = benchmark(_compute, records)
+    text = format_band_table(
+        "Table 4 — preprocessing / SDDMM kernel-time ratio, gated subset", bands
+    ) + "\npaper reference:\n" + format_band_table("", _PAPER_TABLE4)
+    text += f"\nmean ratio: K=512 {means[512]:.0f}x, K=1024 {means[1024]:.0f}x"
+    emit(benchmark, text, bands=bands, means=means)
+
+    # Same shape contract as Table 3: doubling K roughly halves the ratio.
+    assert means[1024] < means[512] * 0.75
+
+    def low_mass(b):
+        return b["0x~5x"] + b["5x~10x"] + b["10x~100x"]
+
+    assert low_mass(bands[1024]) >= low_mass(bands[512])

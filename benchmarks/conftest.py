@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark suite.
+
+The corpus experiment (the expensive part) runs **once per session** and is
+shared by every table/figure bench; each bench then times its own
+presentation-layer computation with pytest-benchmark and prints the
+regenerated table/figure (visible with ``pytest benchmarks/ -s`` and
+attached to the benchmark's ``extra_info`` either way).
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))  # noqa: E402
+
+from repro.datasets import build_corpus
+from repro.experiments import ExperimentConfig, run_experiment
+
+#: Corpus scale used by the benches.  Override with REPRO_BENCH_SCALE.
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+#: Replicas per corpus spec.  Override with REPRO_BENCH_REPEATS.
+BENCH_REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        ks=(512, 1024), scale=BENCH_SCALE, repeats=BENCH_REPEATS
+    )
+
+
+@pytest.fixture(scope="session")
+def corpus(bench_config):
+    """The corpus standing in for the paper's 1084 matrices."""
+    return build_corpus(
+        bench_config.scale, seed=bench_config.seed, repeats=bench_config.repeats
+    )
+
+
+@pytest.fixture(scope="session")
+def records(bench_config, corpus):
+    """One full corpus run: all kernel variants, K in {512, 1024}."""
+    return run_experiment(bench_config, entries=corpus)
+
+
+def emit(benchmark, text: str, **extra) -> None:
+    """Print a regenerated table/figure and attach it to the benchmark."""
+    print()
+    print(text)
+    benchmark.extra_info["output"] = text
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Collaborative filtering with row-reordered SDDMM.
+
+The paper's second motivating workload: gradient descent for matrix
+factorisation.  With ratings ``R`` (sparse, users x items) and factor
+matrices ``U`` (users x k), ``V`` (items x k), each epoch needs the
+*predictions at the observed entries* — exactly SDDMM with the rating
+pattern as the sampling matrix:
+
+    P = (U @ V.T) .* pattern(R)          # SDDMM
+    E = P - R                            # sparse residuals
+    U -= lr * (E @ V)                    # SpMM
+    V -= lr * (E.T @ U)                  # SpMM (transposed residuals)
+
+Because the same sparse pattern is used every epoch, the row-reordering
+preprocessing is paid once and amortised across all of them — the paper's
+§5.4 argument.  This example trains for a few epochs, shows the RMSE
+falling, and reports the modelled per-epoch SDDMM time with and without
+reordering.
+
+Run:  python examples/collaborative_filtering.py
+"""
+
+import numpy as np
+
+from repro import ReorderConfig, build_plan
+from repro.datasets import bipartite_ratings
+from repro.gpu import GPUExecutor, P100
+from repro.kernels import sddmm, spmm
+from repro.sparse import CSRMatrix, transpose_csr
+
+
+def rmse(residuals: CSRMatrix) -> float:
+    return float(np.sqrt(np.mean(residuals.values**2)))
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+
+    ratings = bipartite_ratings(
+        n_users=2048, n_items=1536, mean_ratings=24,
+        n_taste_groups=24, concentration=0.85, seed=rng,
+    )
+    print(f"ratings: {ratings.n_rows} users x {ratings.n_cols} items, "
+          f"{ratings.nnz} observed")
+
+    k, lr, epochs = 32, 0.4, 8
+    U = 0.1 * rng.normal(size=(ratings.n_rows, k))
+    V = 0.1 * rng.normal(size=(ratings.n_cols, k))
+
+    # ---- one-time preprocessing ----------------------------------------
+    plan = build_plan(ratings.pattern(), ReorderConfig(panel_height=16))
+    print(f"reordering rounds applied: 1={plan.stats.round1_applied} "
+          f"2={plan.stats.round2_applied}; preprocessing "
+          f"{plan.preprocessing_time:.2f}s")
+
+    # ---- training loop ---------------------------------------------------
+    pattern = ratings.pattern()
+    for epoch in range(epochs):
+        # Predictions at observed entries through the reordered plan
+        # (V is the "X" operand indexed by item, U is indexed by user).
+        predictions = plan.sddmm(V, U)
+        residuals = predictions.with_values(predictions.values - ratings.values)
+        U -= lr * spmm(residuals, V) / max(1, ratings.nnz / ratings.n_rows)
+        V -= lr * spmm(transpose_csr(residuals), U) / max(1, ratings.nnz / ratings.n_cols)
+        print(f"epoch {epoch}: RMSE = {rmse(residuals):.4f}")
+
+    # Sanity: the plan's SDDMM equals the direct kernel.
+    direct = sddmm(pattern, V, U)
+    via_plan = plan.sddmm(V, U)
+    np.testing.assert_allclose(via_plan.values, direct.values, rtol=1e-9, atol=1e-9)
+    print("plan.sddmm == direct SDDMM (verified)")
+
+    # ---- modelled per-epoch cost ----------------------------------------
+    executor = GPUExecutor(P100.with_overrides(l2_bytes=P100.l2_bytes // 6))
+    from repro.aspt import tile_matrix
+
+    t_nr = executor.sddmm_cost(tile_matrix(pattern, 16), 512, "aspt").time_s
+    t_rr = executor.sddmm_cost(plan.cost_view(), 512, "aspt").time_s
+    print(f"modelled SDDMM (K=512): ASpT-NR {t_nr * 1e6:.1f} us, "
+          f"ASpT-RR {t_rr * 1e6:.1f} us ({t_nr / t_rr:.2f}x per epoch, "
+          f"every epoch, for one preprocessing pass)")
+
+
+if __name__ == "__main__":
+    main()

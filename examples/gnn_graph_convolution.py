@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Graph convolution (GCN) inference with row-reordered SpMM.
+
+The paper's introduction motivates SpMM with graph neural networks: a GCN
+layer is ``H' = act(A_hat @ H @ W)`` where ``A_hat`` is the normalised
+adjacency — the ``A_hat @ (...)`` step is SpMM with a wide dense operand.
+
+This example builds an R-MAT graph, assembles the symmetric-normalised
+adjacency ``A_hat = D^-1/2 (A + I) D^-1/2`` from scratch, runs a 2-layer
+GCN forward pass both directly and through a reordered execution plan,
+verifies the logits agree to machine precision, and reports the modelled
+per-layer kernel time plus the number of inference batches needed to
+amortise the preprocessing (the paper's "offline step for GNN inference"
+argument).
+
+Run:  python examples/gnn_graph_convolution.py
+"""
+
+import numpy as np
+
+from repro import ReorderConfig, build_plan, spmm
+from repro.datasets import stochastic_block_model
+from repro.gpu import GPUExecutor, P100
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+def normalised_adjacency(graph: CSRMatrix) -> CSRMatrix:
+    """``D^-1/2 (A + I) D^-1/2`` with binary A (the standard GCN operator)."""
+    n = graph.n_rows
+    rows = np.concatenate([graph.row_ids(), np.arange(n, dtype=np.int64)])
+    cols = np.concatenate([graph.colidx, np.arange(n, dtype=np.int64)])
+    a_hat = COOMatrix.from_arrays((n, n), rows, cols).to_csr()  # pattern + I
+    degrees = a_hat.row_lengths().astype(np.float64)
+    inv_sqrt = 1.0 / np.sqrt(degrees)
+    values = inv_sqrt[a_hat.row_ids()] * inv_sqrt[a_hat.colidx]
+    return a_hat.with_values(values)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def gcn_forward(mult, H: np.ndarray, W1: np.ndarray, W2: np.ndarray) -> np.ndarray:
+    """Two GCN layers; ``mult(X)`` computes ``A_hat @ X``."""
+    H1 = relu(mult(H @ W1))
+    return mult(H1 @ W2)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # A community graph (think citation/social network) whose vertex
+    # labels were assigned in arrival order — community structure exists
+    # but is invisible to consecutive-row heuristics until reordered.
+    graph = stochastic_block_model(160, 16, p_in=0.35, p_out=0.0008, seed=rng)
+    a_hat = normalised_adjacency(graph)
+    print(f"graph: {a_hat.n_rows} vertices, {a_hat.nnz} normalised edges")
+
+    n, feat, hidden, classes = a_hat.n_rows, 512, 256, 16
+    H = rng.normal(size=(n, feat))
+    W1 = rng.normal(size=(feat, hidden)) / np.sqrt(feat)
+    W2 = rng.normal(size=(hidden, classes)) / np.sqrt(hidden)
+
+    # ---- preprocessing: reorder once, reuse for every inference --------
+    plan = build_plan(a_hat, ReorderConfig(panel_height=16))
+    print(f"reordering rounds applied: 1={plan.stats.round1_applied} "
+          f"2={plan.stats.round2_applied}; preprocessing "
+          f"{plan.preprocessing_time:.2f}s")
+
+    logits_plan = gcn_forward(plan.spmm, H, W1, W2)
+    logits_ref = gcn_forward(lambda X: spmm(a_hat, X), H, W1, W2)
+    np.testing.assert_allclose(logits_plan, logits_ref, rtol=1e-8, atol=1e-8)
+    print("2-layer GCN logits identical through the reordered plan (verified)")
+    print(f"predicted classes (first 10): {logits_plan.argmax(1)[:10].tolist()}")
+
+    # ---- modelled amortisation ------------------------------------------
+    executor = GPUExecutor(P100.with_overrides(l2_bytes=P100.l2_bytes // 6))
+    from repro.aspt import tile_matrix
+
+    t_nr = executor.spmm_cost(tile_matrix(a_hat, 16), hidden, "aspt").time_s
+    t_rr = executor.spmm_cost(plan.cost_view(), hidden, "aspt").time_s
+    print(f"modelled SpMM per layer: ASpT-NR {t_nr * 1e6:.1f} us, "
+          f"ASpT-RR {t_rr * 1e6:.1f} us ({t_nr / t_rr:.2f}x)")
+    if t_rr < t_nr:
+        batches = plan.preprocessing_time / (2 * (t_nr - t_rr))
+        print(f"preprocessing amortised after ~{batches:,.0f} inference "
+              f"batches (2 SpMM layers each) — an offline one-time cost")
+
+
+if __name__ == "__main__":
+    main()

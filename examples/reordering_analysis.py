@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""When does row reordering help?  A miniature of the paper's §4 / Fig. 9.
+
+Runs the pipeline over one representative matrix of each structure class,
+prints the two §4 indicators (original dense-tile ratio, remainder
+consecutive-row similarity), whether each reordering round ran, the
+ΔDenseRatio / ΔAvgSim effectiveness deltas, and the trial-and-error
+autotuner's verdict — ending with an ASCII Fig. 9-style scatter.
+
+Run:  python examples/reordering_analysis.py
+"""
+
+import numpy as np
+
+from repro import ReorderConfig, autotune, build_plan
+from repro.datasets import (
+    banded,
+    diagonal,
+    hidden_clusters,
+    preclustered,
+    rmat,
+    stochastic_block_model,
+    uniform_random,
+)
+from repro.experiments.asciiplot import ascii_scatter
+from repro.experiments.config import ExperimentConfig
+from repro.gpu import GPUExecutor
+
+
+def main() -> None:
+    matrices = {
+        "diagonal (Fig 7b)": diagonal(2000, seed=0),
+        "banded": banded(2000, 2, seed=0),
+        "uniform random": uniform_random(2000, 2000, 8, seed=0),
+        "R-MAT graph": rmat(11, 8, seed=0),
+        "pre-clustered (Fig 7a)": preclustered(250, 8, 2048, 20, seed=0),
+        "hidden clusters": hidden_clusters(250, 8, 6144, 20, noise=0.1, seed=0),
+        "community graph (SBM)": stochastic_block_model(128, 16, p_in=0.3, seed=0),
+    }
+
+    # The experiment-grade model: P100 shrunk to match these matrix sizes.
+    cfg = ExperimentConfig(ks=(512,), scale="small", repeats=1)
+    device, cost = cfg.effective_model()
+    executor = GPUExecutor(device, cost)
+    config = ReorderConfig(panel_height=16)
+
+    print(f"{'matrix':<24}{'dense%':>8}{'avgsim':>8}{'r1':>4}{'r2':>4}"
+          f"{'dDR':>8}{'dAS':>8}{'autotune':>10}{'speedup':>9}")
+    xs, ys, marks = [], [], []
+    for name, m in matrices.items():
+        plan = build_plan(m, config)
+        s = plan.stats
+        result = autotune(m, 512, executor=executor, config=config)
+        print(
+            f"{name:<24}{s.dense_ratio_before:>7.1%}{s.avg_sim_before:>8.3f}"
+            f"{'Y' if s.round1_applied else '-':>4}"
+            f"{'Y' if s.round2_applied else '-':>4}"
+            f"{s.delta_dense_ratio:>+8.3f}{s.delta_avg_sim:>+8.3f}"
+            f"{'reorder' if result.use_reordering else 'plain':>10}"
+            f"{result.speedup:>8.2f}x"
+        )
+        xs.append(s.delta_dense_ratio)
+        ys.append(s.delta_avg_sim)
+        marks.append("+" if result.speedup >= 1.0 else "-")
+
+    print()
+    print(ascii_scatter(
+        np.array(xs), np.array(ys), marks,
+        width=60, height=14,
+        title="Fig 9 miniature: x = dDenseRatio, y = dAvgSim ('+' speedup, '-' slowdown)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Tiling statistics.
+
+``dense_ratio`` is the paper's §4 round-1 indicator (skip reordering when
+the original matrix already puts >10% of its non-zeros in dense tiles);
+``ΔDenseRatio`` and ``ΔAvgSim`` together form the axes of the paper's
+Fig. 9 effectiveness analysis, computed by
+:func:`repro.reorder.pipeline.reorder_for_spmm` and reported through
+:class:`TilingStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.aspt.tiles import TiledMatrix, tile_matrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "dense_ratio",
+    "tiling_stats",
+    "TilingStats",
+    "panel_dense_column_histogram",
+]
+
+
+def dense_ratio(
+    csr: CSRMatrix, panel_height: int, dense_threshold: int = 2
+) -> float:
+    """Fraction of non-zeros that ASpT would capture in dense tiles.
+
+    Convenience wrapper that tiles and reads
+    :attr:`repro.aspt.TiledMatrix.dense_ratio`.
+    """
+    return tile_matrix(csr, panel_height, dense_threshold).dense_ratio
+
+
+@dataclass(frozen=True)
+class TilingStats:
+    """Summary of one :class:`TiledMatrix`."""
+
+    n_panels: int
+    nnz_total: int
+    nnz_dense: int
+    nnz_sparse: int
+    dense_ratio: float
+    n_dense_column_instances: int
+    max_dense_cols_in_panel: int
+    panels_with_dense_tiles: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for JSON serialisation."""
+        return asdict(self)
+
+
+def tiling_stats(tiled: TiledMatrix) -> TilingStats:
+    """Compute a :class:`TilingStats` from a finished split."""
+    sizes = np.array([c.size for c in tiled.panel_dense_cols], dtype=np.int64)
+    return TilingStats(
+        n_panels=tiled.spec.n_panels,
+        nnz_total=tiled.original.nnz,
+        nnz_dense=tiled.nnz_dense,
+        nnz_sparse=tiled.nnz_sparse,
+        dense_ratio=tiled.dense_ratio,
+        n_dense_column_instances=int(sizes.sum()),
+        max_dense_cols_in_panel=int(sizes.max()) if sizes.size else 0,
+        panels_with_dense_tiles=int(np.count_nonzero(sizes)),
+    )
+
+
+def panel_dense_column_histogram(tiled: TiledMatrix) -> np.ndarray:
+    """Histogram of dense-column counts across panels.
+
+    ``hist[k]`` is the number of panels with exactly ``k`` dense columns;
+    the array has length ``max_count + 1`` (or 1 when there are no panels).
+    """
+    sizes = np.array([c.size for c in tiled.panel_dense_cols], dtype=np.int64)
+    if sizes.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(sizes)

@@ -1,0 +1,36 @@
+"""BIDMach-like SDDMM baseline.
+
+The paper cites ASpT as 3.6x faster than BIDMach on SDDMM and therefore
+compares ASpT-RR only against ASpT-NR; this baseline exists so that context
+figure can be reproduced too.  Functionally it is the row-wise SDDMM; its
+performance character (``variant="bidmach"``) is an untiled kernel with the
+low bandwidth efficiency documented in
+:class:`repro.gpu.costmodel.CostModelConfig`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.costmodel import KernelCost
+from repro.gpu.executor import GPUExecutor
+from repro.kernels.sddmm import sddmm
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["BidmachLikeSDDMM"]
+
+
+class BidmachLikeSDDMM:
+    """Machine-learning-library stand-in for SDDMM."""
+
+    def __init__(self, csr: CSRMatrix):
+        self.csr = csr
+
+    def sddmm(self, X: np.ndarray, Y: np.ndarray) -> CSRMatrix:
+        """Compute ``(Y @ X.T) .* csr``."""
+        return sddmm(self.csr, X, Y)
+
+    def cost(self, k: int, executor: GPUExecutor | None = None) -> KernelCost:
+        """Modelled kernel cost for dense width ``k``."""
+        executor = executor or GPUExecutor()
+        return executor.sddmm_cost(self.csr, k, "bidmach")

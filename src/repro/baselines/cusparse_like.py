@@ -1,0 +1,44 @@
+"""cuSPARSE-like SpMM baseline.
+
+Functionally this is the ordinary row-wise kernel; its distinguishing
+characteristics live in the performance model (``variant="cusparse"``):
+one row per thread block (no intra-block column sharing from row
+adjacency) and the generality bandwidth penalty documented in
+:class:`repro.gpu.costmodel.CostModelConfig`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.costmodel import KernelCost
+from repro.gpu.executor import GPUExecutor
+from repro.kernels.spmm import spmm
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["CusparseLikeSpMM"]
+
+
+class CusparseLikeSpMM:
+    """Vendor-library stand-in: SpMM with no structure-adaptive tiling.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.sparse import CSRMatrix
+    >>> kernel = CusparseLikeSpMM(CSRMatrix.from_dense(np.eye(3)))
+    >>> kernel.spmm(np.ones((3, 2))).shape
+    (3, 2)
+    """
+
+    def __init__(self, csr: CSRMatrix):
+        self.csr = csr
+
+    def spmm(self, X: np.ndarray) -> np.ndarray:
+        """Compute ``csr @ X``."""
+        return spmm(self.csr, X)
+
+    def cost(self, k: int, executor: GPUExecutor | None = None) -> KernelCost:
+        """Modelled kernel cost for dense width ``k``."""
+        executor = executor or GPUExecutor()
+        return executor.spmm_cost(self.csr, k, "cusparse")

@@ -1,0 +1,309 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro corpus    [--scale S] [--repeats N]        # list the corpus
+    repro run       [--scale S] [--k 512 1024] [--out results.json]
+    repro table     {1,2,3,4} --records results.json
+    repro figure    {8,9,10,11,12} --records results.json [--k K]
+    repro metis     [--scale S] [--k K]
+    repro reorder   --mtx in.mtx --out out.mtx       # reorder a real matrix
+    repro autotune  --mtx in.mtx [--k 512] [--op spmm]  # trial-and-error verdict
+    repro report    --records results.json --out EXPERIMENTS.md
+    repro generators
+
+``repro run`` executes the corpus experiment and writes the JSON records
+every other subcommand consumes; see DESIGN.md for the experiment index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the `repro` argument parser (see module docstring)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="PPoPP'20 row-reordering SpMM/SDDMM reproduction harness",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("corpus", help="list corpus matrices and their stats")
+    c.add_argument("--scale", default="small", help="tiny|small|medium|paper")
+    c.add_argument("--repeats", type=int, default=2)
+
+    r = sub.add_parser("run", help="run the corpus experiment")
+    r.add_argument("--scale", default="small")
+    r.add_argument("--repeats", type=int, default=2)
+    r.add_argument("--k", type=int, nargs="+", default=[512, 1024])
+    r.add_argument("--out", default="results.json")
+    r.add_argument(
+        "--panel-height", type=int, default=None,
+        help="ASpT panel height (default: matched to --scale)",
+    )
+    r.add_argument("--verify", action="store_true", help="validate plans functionally")
+    r.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep (matrices are independent)",
+    )
+
+    t = sub.add_parser("table", help="print a paper table from saved records")
+    t.add_argument("number", type=int, choices=(1, 2, 3, 4))
+    t.add_argument("--records", default="results.json")
+
+    f = sub.add_parser("figure", help="print a paper figure from saved records")
+    f.add_argument("number", type=int, choices=(8, 9, 10, 11, 12))
+    f.add_argument("--records", default="results.json")
+    f.add_argument("--k", type=int, default=512)
+    f.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also dump the figure's raw data series as JSON (for plotting)",
+    )
+    f.add_argument(
+        "--svg", metavar="PATH", default=None,
+        help="also render the figure as an SVG file",
+    )
+    f.add_argument(
+        "--svg-mode", choices=("light", "dark"), default="light",
+        help="palette mode for --svg output",
+    )
+
+    m = sub.add_parser("metis", help="run the §5.2 vertex-reordering comparison")
+    m.add_argument("--scale", default="tiny")
+    m.add_argument("--k", type=int, default=512)
+
+    ro = sub.add_parser("reorder", help="row-reorder a MatrixMarket file")
+    ro.add_argument("--mtx", required=True)
+    ro.add_argument("--out", required=True)
+    ro.add_argument("--panel-height", type=int, default=64)
+    ro.add_argument(
+        "--plan", metavar="PATH", default=None,
+        help="also persist the execution plan (.npz) for offline reuse",
+    )
+
+    at = sub.add_parser(
+        "autotune", help="trial-and-error reordering decision for a .mtx file"
+    )
+    at.add_argument("--mtx", required=True)
+    at.add_argument("--k", type=int, default=512)
+    at.add_argument("--op", choices=("spmm", "sddmm"), default="spmm")
+    at.add_argument("--panel-height", type=int, default=64)
+
+    rep = sub.add_parser("report", help="write EXPERIMENTS.md from saved records")
+    rep.add_argument("--records", default="results.json")
+    rep.add_argument("--out", default="EXPERIMENTS.md")
+    rep.add_argument(
+        "--html", metavar="PATH", default=None,
+        help="also write a self-contained HTML report with embedded figures",
+    )
+
+    sub.add_parser("generators", help="list dataset generators")
+    return p
+
+
+def _cmd_corpus(args) -> int:
+    from repro.datasets import build_corpus, corpus_summary
+
+    entries = build_corpus(args.scale, repeats=args.repeats)
+    rows = corpus_summary(entries)
+    print(f"{'name':<32}{'category':<14}{'rows':>8}{'cols':>8}{'nnz':>10}")
+    for row in rows:
+        print(
+            f"{row['name']:<32}{row['category']:<14}"
+            f"{row['n_rows']:>8}{row['n_cols']:>8}{row['nnz']:>10}"
+        )
+    print(f"total: {len(rows)} matrices")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments import ExperimentConfig, run_experiment, save_records
+    from repro.reorder import ReorderConfig
+    from repro.util.log import enable_console_logging
+
+    enable_console_logging()
+    config = ExperimentConfig(
+        ks=tuple(args.k),
+        scale=args.scale,
+        repeats=args.repeats,
+        reorder=(
+            ReorderConfig(panel_height=args.panel_height)
+            if args.panel_height is not None
+            else None  # ExperimentConfig picks the scale-matched default
+        ),
+        verify=args.verify,
+    )
+    records = run_experiment(config, progress=args.jobs == 1, n_jobs=args.jobs)
+    save_records(records, args.out)
+    print(f"wrote {len(records)} records to {args.out}")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.experiments import load_records
+    from repro.experiments.tables import (
+        format_band_table,
+        needing_reordering,
+        preprocessing_ratio_bands,
+        records_at_k,
+        speedup_bands,
+        summary_stats,
+    )
+
+    records = load_records(args.records)
+    ks = sorted({r.k for r in records})
+    subset = needing_reordering(records)
+    if args.number == 1:
+        bands = {k: speedup_bands(records_at_k(subset, k), "spmm_vs_best") for k in ks}
+        print(format_band_table("Table 1: SpMM ASpT-RR vs best(cuSPARSE, ASpT-NR)", bands))
+        for k in ks:
+            print(f"K={k}:", summary_stats(records_at_k(subset, k), "spmm_vs_best"))
+    elif args.number == 2:
+        bands = {k: speedup_bands(records_at_k(subset, k), "sddmm_vs_nr") for k in ks}
+        print(format_band_table("Table 2: SDDMM ASpT-RR vs ASpT-NR", bands))
+        for k in ks:
+            print(f"K={k}:", summary_stats(records_at_k(subset, k), "sddmm_vs_nr"))
+    else:
+        op = "spmm" if args.number == 3 else "sddmm"
+        bands = {
+            k: preprocessing_ratio_bands(records_at_k(subset, k), op) for k in ks
+        }
+        print(format_band_table(f"Table {args.number}: preprocessing/{op} ratio", bands))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import (
+        fig8_speedup_histogram,
+        fig9_effectiveness_scatter,
+        fig10_throughput_series,
+        fig11_throughput_series,
+        fig12_preprocessing_times,
+        load_records,
+    )
+
+    records = load_records(args.records)
+    fn = {
+        8: lambda: fig8_speedup_histogram(records, args.k),
+        9: lambda: fig9_effectiveness_scatter(records, args.k),
+        10: lambda: fig10_throughput_series(records, args.k),
+        11: lambda: fig11_throughput_series(records, args.k),
+        12: lambda: fig12_preprocessing_times(records),
+    }[args.number]
+    out = fn()
+    print(out["text"])
+    if args.json:
+        import json
+
+        data = {key: value for key, value in out.items() if key != "text"}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=1)
+        print(f"wrote raw series to {args.json}")
+    if args.svg:
+        from repro.viz import figure_svg
+
+        with open(args.svg, "w", encoding="utf-8") as fh:
+            fh.write(figure_svg(args.number, out, mode=args.svg_mode))
+        print(f"wrote SVG to {args.svg}")
+    return 0
+
+
+def _cmd_metis(args) -> int:
+    from repro.datasets import build_corpus
+    from repro.experiments import metis_comparison
+
+    entries = build_corpus(args.scale, repeats=1)
+    result = metis_comparison(entries, args.k)
+    print(result["text"])
+    return 0
+
+
+def _cmd_reorder(args) -> int:
+    from repro.reorder import ReorderConfig, build_plan
+    from repro.sparse import permute_csr_rows, read_matrix_market, write_matrix_market
+
+    matrix = read_matrix_market(args.mtx)
+    plan = build_plan(matrix, ReorderConfig(panel_height=args.panel_height))
+    reordered = permute_csr_rows(matrix, plan.row_order)
+    write_matrix_market(args.out, reordered, comment=f"row-reordered from {args.mtx}")
+    if args.plan:
+        plan.save(args.plan)
+        print(f"saved execution plan to {args.plan}")
+    s = plan.stats
+    print(
+        f"dense ratio {s.dense_ratio_before:.3f} -> {s.dense_ratio_after:.3f}; "
+        f"rounds applied: 1={s.round1_applied} 2={s.round2_applied}; "
+        f"preprocessing {plan.preprocessing_time:.2f}s"
+    )
+    return 0
+
+
+def _cmd_autotune(args) -> int:
+    from repro.reorder import ReorderConfig, autotune
+    from repro.sparse import read_matrix_market
+
+    matrix = read_matrix_market(args.mtx)
+    result = autotune(
+        matrix, args.k, op=args.op,
+        config=ReorderConfig(panel_height=args.panel_height),
+    )
+    choice = "REORDER" if result.use_reordering else "KEEP ORIGINAL"
+    print(
+        f"{args.mtx}: {matrix.n_rows}x{matrix.n_cols}, nnz={matrix.nnz}\n"
+        f"modelled {args.op} (K={args.k}): reordered "
+        f"{result.cost_reordered.time_s * 1e6:.1f} us vs plain "
+        f"{result.cost_plain.time_s * 1e6:.1f} us "
+        f"({result.speedup:.2f}x)\n"
+        f"decision: {choice}"
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments import load_records, render_experiments_markdown
+
+    records = load_records(args.records)
+    text = render_experiments_markdown(records)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    print(f"wrote {args.out} from {len(records)} records")
+    if args.html:
+        from repro.experiments import render_html_report
+
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_html_report(records))
+        print(f"wrote {args.html}")
+    return 0
+
+
+def _cmd_generators(_args) -> int:
+    from repro.datasets import list_generators
+
+    for name in list_generators():
+        print(name)
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point (returns a process exit code)."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "corpus": _cmd_corpus,
+        "run": _cmd_run,
+        "table": _cmd_table,
+        "figure": _cmd_figure,
+        "metis": _cmd_metis,
+        "reorder": _cmd_reorder,
+        "autotune": _cmd_autotune,
+        "report": _cmd_report,
+        "generators": _cmd_generators,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

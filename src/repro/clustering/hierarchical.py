@@ -1,0 +1,179 @@
+"""Hierarchical clustering of rows over LSH candidate pairs — paper Alg. 3.
+
+The algorithm maintains a union–find forest whose roots are the
+*representing rows* of the clusters, and a max-heap of candidate pairs keyed
+by exact Jaccard similarity:
+
+1. Pop the most similar pair ``(i, j)``.
+2. If both are representing rows, merge the smaller cluster into the larger
+   (ties keep the smaller row index as representative).  A cluster whose
+   size reaches ``threshold_size`` is *retired* (the paper's ``deleted``
+   flag): its rows will be emitted but it takes no further merges —
+   bounding cluster size to roughly the ASpT row-panel working set.
+3. Otherwise chase both ids to their representatives and, if they belong to
+   different live clusters and the pair is new, push the representatives'
+   similarity back onto the heap.
+4. Stop when the heap is empty or no live cluster remains; emit rows
+   cluster-by-cluster (clusters ordered by their smallest original row id,
+   rows ascending within a cluster), matching the paper's Fig. 6 example
+   which returns ``[0, 2, 4, 1, 3, 5]``.
+
+Complexity (paper §3.2): ``O(E log N + (N + E) log E + N)`` for ``N`` rows
+and ``E`` candidate pairs — near ``O(N log N)`` when ``E = O(N)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering.heap import MaxHeap
+from repro.clustering.ordering import clusters_from_forest, order_from_clusters
+from repro.clustering.union_find import UnionFind
+from repro.errors import ValidationError
+from repro.similarity.jaccard import jaccard_rows
+from repro.sparse.csr import CSRMatrix
+from repro.util.validation import check_positive
+
+__all__ = ["ClusteringResult", "cluster_rows"]
+
+
+def _score(csr: CSRMatrix, i: int, j: int, measure: str) -> float:
+    """Similarity of one row pair under ``measure`` (fast path for Jaccard)."""
+    if measure == "jaccard":
+        return jaccard_rows(csr, i, j)
+    from repro.similarity.measures import similarity_for_pairs
+
+    return float(similarity_for_pairs(csr, np.array([[i, j]]), measure)[0])
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Outcome of one clustering pass.
+
+    Attributes
+    ----------
+    order:
+        Row permutation (new position -> original row id).
+    cluster_of:
+        For each original row, the representative row of its final cluster.
+    n_clusters:
+        Number of final clusters (singletons included).
+    n_merges:
+        Merges performed (``n_rows - n_clusters``).
+    n_retired:
+        Clusters retired by the ``threshold_size`` rule.
+    n_requeued:
+        Pairs re-inserted after representative chasing (Alg. 3 line 28).
+    """
+
+    order: np.ndarray
+    cluster_of: np.ndarray
+    n_clusters: int
+    n_merges: int
+    n_retired: int
+    n_requeued: int
+
+    @property
+    def is_identity(self) -> bool:
+        """True when clustering did not move any row."""
+        return bool(np.array_equal(self.order, np.arange(self.order.size)))
+
+
+def cluster_rows(
+    csr: CSRMatrix,
+    pairs: np.ndarray,
+    sims: np.ndarray,
+    *,
+    threshold_size: int = 256,
+    measure: str = "jaccard",
+) -> ClusteringResult:
+    """Run Alg. 3's clustering loop on precomputed candidate pairs.
+
+    Parameters
+    ----------
+    csr:
+        The matrix whose rows are clustered (needed to score re-queued
+        representative pairs with exact Jaccard).
+    pairs:
+        ``(E, 2)`` int64 candidate pairs (from :class:`repro.similarity.LSHIndex`).
+    sims:
+        Exact Jaccard similarity of each candidate pair.
+    threshold_size:
+        Retire clusters when they reach this size (paper default 256).
+    measure:
+        Similarity used to re-score re-queued representative pairs
+        (``"jaccard"`` per the paper; see :data:`repro.similarity.MEASURES`).
+
+    Returns
+    -------
+    ClusteringResult
+    """
+    pairs = np.asarray(pairs, dtype=np.int64)
+    sims = np.asarray(sims, dtype=np.float64)
+    if pairs.ndim != 2 or (pairs.size and pairs.shape[1] != 2):
+        raise ValidationError(f"pairs must have shape (E, 2), got {pairs.shape}")
+    if sims.size != pairs.shape[0]:
+        raise ValidationError("pairs and sims must have equal length")
+    threshold_size = check_positive("threshold_size", threshold_size)
+
+    n = csr.n_rows
+    forest = UnionFind(n)
+    deleted = np.zeros(n, dtype=bool)
+    live_clusters = n
+
+    heap = MaxHeap.from_arrays(sims, pairs[:, 0], pairs[:, 1])
+    # Seen-pair set for the Alg. 3 line-27 dedup.  Keys encode (lo, hi).
+    seen: set[int] = set()
+    lo = np.minimum(pairs[:, 0], pairs[:, 1])
+    hi = np.maximum(pairs[:, 0], pairs[:, 1])
+    seen.update((lo * np.int64(n) + hi).tolist())
+
+    n_merges = 0
+    n_retired = 0
+    n_requeued = 0
+
+    while heap and live_clusters > 0:
+        _, i, j = heap.pop()
+        if forest.is_root(i) and forest.is_root(j):
+            if deleted[i] or deleted[j] or i == j:
+                continue
+            # Merge the smaller cluster into the larger; on ties keep the
+            # smaller row index as representative.
+            si, sj = forest.size[i], forest.size[j]
+            if si < sj or (si == sj and j < i):
+                child, root = i, j
+            else:
+                child, root = j, i
+            new_size = forest.merge_roots(child, root)
+            live_clusters -= 1
+            n_merges += 1
+            if new_size >= threshold_size:
+                deleted[root] = True
+                n_retired += 1
+                live_clusters -= 1
+        else:
+            ri, rj = forest.root(i), forest.root(j)
+            if deleted[ri] or deleted[rj] or ri == rj:
+                continue
+            a, b = (ri, rj) if ri < rj else (rj, ri)
+            key = a * n + b
+            if key not in seen:
+                seen.add(key)
+                heap.push(_score(csr, a, b, measure), a, b)
+                n_requeued += 1
+
+    clusters = clusters_from_forest(forest)
+    order = order_from_clusters(clusters, n)
+    cluster_of = np.empty(n, dtype=np.int64)
+    for root, members in clusters.items():
+        cluster_of[members] = root
+    return ClusteringResult(
+        order=order,
+        cluster_of=cluster_of,
+        n_clusters=len(clusters),
+        n_merges=n_merges,
+        n_retired=n_retired,
+        n_requeued=n_requeued,
+    )

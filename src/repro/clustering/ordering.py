@@ -1,0 +1,51 @@
+"""Turning a finished cluster forest into a row ordering.
+
+The paper's Alg. 3 epilogue (lines 30–34) buckets rows by their cluster's
+representative and concatenates the buckets.  We fix the iteration order —
+clusters by their smallest member row, members ascending — which both
+matches the paper's worked example (Fig. 6 yields ``[0, 2, 4, 1, 3, 5]``)
+and makes the pipeline deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.union_find import UnionFind
+
+__all__ = ["clusters_from_forest", "order_from_clusters"]
+
+
+def clusters_from_forest(forest: UnionFind) -> dict[int, np.ndarray]:
+    """Group elements by representative.
+
+    Returns a dict mapping root id -> sorted ``int64`` array of members,
+    with the dict itself ordered by each cluster's smallest member (which,
+    given sorted members, is simply ``members[0]``).
+    """
+    n = len(forest)
+    if n == 0:
+        return {}
+    roots = np.fromiter((forest.root(i) for i in range(n)), dtype=np.int64, count=n)
+    order = np.argsort(roots, kind="stable")  # stable => members stay ascending
+    sorted_roots = roots[order]
+    boundaries = np.flatnonzero(sorted_roots[1:] != sorted_roots[:-1]) + 1
+    starts = np.concatenate([[0], boundaries]).astype(np.int64)
+    ends = np.concatenate([boundaries, [n]]).astype(np.int64)
+    clusters = {
+        int(sorted_roots[s]): order[s:e] for s, e in zip(starts, ends)
+    }
+    # Re-key by ascending first member so iteration order is canonical.
+    return dict(sorted(clusters.items(), key=lambda kv: int(kv[1][0])))
+
+
+def order_from_clusters(clusters: dict[int, np.ndarray], n: int) -> np.ndarray:
+    """Concatenate cluster member lists into a permutation of ``range(n)``."""
+    if not clusters:
+        return np.arange(n, dtype=np.int64)
+    order = np.concatenate(list(clusters.values())).astype(np.int64)
+    if order.size != n:
+        raise ValueError(
+            f"clusters cover {order.size} rows but the matrix has {n}"
+        )
+    return order

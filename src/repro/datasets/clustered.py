@@ -1,0 +1,113 @@
+"""Cluster-structured generators — the matrices the paper is about.
+
+:func:`hidden_clusters` produces the motivating class: groups of rows share
+a column pattern (high intra-cluster Jaccard) but the groups are shuffled
+through the matrix, so ASpT's consecutive-row panels see almost no reuse
+until row reordering regroups them.  :func:`preclustered` is the same
+structure *without* the shuffle — the Fig. 7a class where the §4 gates must
+skip reordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.util.rng import as_generator
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["hidden_clusters", "preclustered"]
+
+
+def _clustered_coo(
+    rng: np.random.Generator,
+    n_clusters: int,
+    rows_per_cluster: int,
+    n_cols: int,
+    pattern_nnz: int,
+    noise: float,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Rows/cols arrays of a cluster-structured matrix in *grouped* order."""
+    m = n_clusters * rows_per_cluster
+    rows_list, cols_list = [], []
+    for c in range(n_clusters):
+        pattern = rng.choice(n_cols, size=min(pattern_nnz, n_cols), replace=False)
+        for r in range(rows_per_cluster):
+            row_cols = pattern.copy()
+            if noise > 0:
+                flip = rng.random(row_cols.size) < noise
+                row_cols[flip] = rng.integers(0, n_cols, size=int(flip.sum()))
+            rows_list.append(np.full(row_cols.size, c * rows_per_cluster + r, dtype=np.int64))
+            cols_list.append(row_cols.astype(np.int64))
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    return rows, cols, m
+
+
+def hidden_clusters(
+    n_clusters: int,
+    rows_per_cluster: int,
+    n_cols: int,
+    pattern_nnz: int,
+    *,
+    noise: float = 0.1,
+    seed=None,
+) -> CSRMatrix:
+    """Cluster-structured rows in a *random* row order.
+
+    Parameters
+    ----------
+    n_clusters, rows_per_cluster:
+        Cluster layout; the matrix has ``n_clusters * rows_per_cluster``
+        rows.
+    n_cols:
+        Number of columns.
+    pattern_nnz:
+        Non-zeros per cluster pattern (per row, up to noise).
+    noise:
+        Fraction of each row's entries moved to random columns —
+        intra-cluster Jaccard decays with noise, exercising the LSH
+        threshold behaviour.
+    """
+    check_positive("n_clusters", n_clusters)
+    check_positive("rows_per_cluster", rows_per_cluster)
+    check_positive("n_cols", n_cols)
+    check_positive("pattern_nnz", pattern_nnz)
+    check_in_range("noise", noise, 0.0, 1.0)
+    rng = as_generator(seed)
+    rows, cols, m = _clustered_coo(
+        rng, n_clusters, rows_per_cluster, n_cols, pattern_nnz, noise
+    )
+    shuffle = rng.permutation(m).astype(np.int64)
+    rows = shuffle[rows]
+    values = rng.uniform(0.5, 1.5, size=rows.size)
+    return COOMatrix.from_arrays((m, n_cols), rows, cols, values).to_csr()
+
+
+def preclustered(
+    n_clusters: int,
+    rows_per_cluster: int,
+    n_cols: int,
+    pattern_nnz: int,
+    *,
+    noise: float = 0.1,
+    seed=None,
+) -> CSRMatrix:
+    """Cluster-structured rows already grouped (Fig. 7a class).
+
+    Same construction as :func:`hidden_clusters` but without the final
+    shuffle: consecutive rows are similar, ASpT alone captures the reuse
+    and the §4 gates should skip reordering.
+    """
+    check_positive("n_clusters", n_clusters)
+    check_positive("rows_per_cluster", rows_per_cluster)
+    check_positive("n_cols", n_cols)
+    check_positive("pattern_nnz", pattern_nnz)
+    check_in_range("noise", noise, 0.0, 1.0)
+    rng = as_generator(seed)
+    rows, cols, m = _clustered_coo(
+        rng, n_clusters, rows_per_cluster, n_cols, pattern_nnz, noise
+    )
+    values = rng.uniform(0.5, 1.5, size=rows.size)
+    return COOMatrix.from_arrays((m, n_cols), rows, cols, values).to_csr()

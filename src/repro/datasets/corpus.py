@@ -1,0 +1,222 @@
+"""The evaluation corpus — stand-in for the paper's 1084 matrices.
+
+The corpus is assembled from the generator families with parameter grids
+chosen to cover every region of the paper's Fig. 9 effectiveness plane:
+
+=================  =======================================  ================
+category           generator                                expected benefit
+=================  =======================================  ================
+``diagonal``       :func:`repro.datasets.diagonal`          none (Fig. 7b)
+``banded``         :func:`repro.datasets.banded`            none
+``uniform``        :func:`repro.datasets.uniform_random`    none/low
+``powerlaw``       :func:`repro.datasets.power_law_rows`    low/medium
+``rmat``           :func:`repro.datasets.rmat`              medium
+``smallworld``     :func:`repro.datasets.small_world`       low (local)
+``preclustered``   :func:`repro.datasets.preclustered`      none (Fig. 7a)
+``hidden``         :func:`repro.datasets.hidden_clusters`   high
+``sbm``            :func:`repro.datasets.stochastic_block_model` medium
+``bipartite``      :func:`repro.datasets.bipartite_ratings` medium/high
+=================  =======================================  ================
+
+Scale: the paper filters for >= 10K rows and >= 100K non-zeros; running
+1084 such matrices through a pure-Python model is not a laptop-scale job,
+so the default ``scale="small"`` shrinks each dimension by ~5x while
+preserving every structural property the experiments depend on (the L2
+capacity in the device model is what matters relative to matrix size, and
+the experiments exercise both regimes).  ``scale="paper"`` produces
+paper-sized matrices for spot checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.datasets.clustered import hidden_clusters, preclustered
+from repro.datasets.graphs import bipartite_ratings, rmat, small_world, stochastic_block_model
+from repro.datasets.synthetic import (
+    banded,
+    diagonal,
+    power_law_rows,
+    uniform_random,
+)
+from repro.errors import DatasetError
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.properties import structural_summary
+
+__all__ = ["CorpusEntry", "build_corpus", "corpus_summary"]
+
+_SCALES = {"tiny": 0.25, "small": 1.0, "medium": 2.0, "paper": 6.0}
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One corpus matrix: a name, its category, and the built matrix."""
+
+    name: str
+    category: str
+    expected_benefit: str  #: "none", "low", "medium" or "high"
+    matrix: CSRMatrix
+    params: dict = field(default_factory=dict, repr=False)
+
+
+def _specs(s: float) -> list[tuple]:
+    """(name, category, expected_benefit, factory) parameter grid.
+
+    ``s`` is the linear scale factor; row counts multiply by ``s``.
+    """
+    def r(x: float) -> int:  # scaled row count
+        return max(64, int(x * s))
+
+    specs: list[tuple[str, str, str, Callable]] = []
+
+    # --- scattered: no possible benefit --------------------------------
+    for n in (1600, 2400):
+        specs.append(
+            (f"diagonal_n{n}", "diagonal", "none",
+             lambda n=n, seed=None: diagonal(r(n), seed=seed))
+        )
+    for n, band in ((1600, 1), (2000, 2), (2400, 3)):
+        specs.append(
+            (f"banded_n{n}_b{band}", "banded", "none",
+             lambda n=n, band=band, seed=None: banded(r(n), band, seed=seed))
+        )
+    for m, nnz in ((1600, 5), (2000, 8), (2400, 12), (3000, 6)):
+        specs.append(
+            (f"uniform_m{m}_d{nnz}", "uniform", "low",
+             lambda m=m, nnz=nnz, seed=None: uniform_random(r(m), r(m), nnz, seed=seed))
+        )
+
+    # --- power-law / graphs --------------------------------------------
+    for m, mean in ((2000, 10), (2800, 14), (3600, 8)):
+        specs.append(
+            (f"powerlaw_m{m}_d{mean}", "powerlaw", "low",
+             lambda m=m, mean=mean, seed=None: power_law_rows(r(m), r(m), mean, seed=seed))
+        )
+    for scale_exp, ef in ((10, 8), (10, 16), (11, 8), (11, 12)):
+        specs.append(
+            (f"rmat_s{scale_exp}_e{ef}", "rmat", "medium",
+             lambda se=scale_exp, ef=ef, seed=None: rmat(
+                 se + (1 if s >= 2.0 else 0), ef, seed=seed))
+        )
+    for n, k, p in ((2000, 4, 0.05), (2400, 6, 0.1), (2000, 4, 0.4)):
+        specs.append(
+            (f"smallworld_n{n}_k{k}_p{int(p*100)}", "smallworld", "low",
+             lambda n=n, k=k, p=p, seed=None: small_world(r(n), k, p, seed=seed))
+        )
+
+    # --- pre-clustered: Fig. 7a class -----------------------------------
+    # Many small clusters of near-identical rows, already grouped: the §4
+    # gates must skip reordering here.
+    for nc, rp, nnz in ((200, 10, 24), (256, 8, 16), (160, 12, 32)):
+        specs.append(
+            (f"preclustered_c{nc}_r{rp}", "preclustered", "none",
+             lambda nc=nc, rp=rp, nnz=nnz, seed=None: preclustered(
+                 max(8, int(nc * s)), rp, r(2048), nnz, noise=0.05, seed=seed))
+        )
+
+    # --- hidden clusters: the motivating class --------------------------
+    # Cluster count >> panel height so random panels rarely hold two rows
+    # of the same cluster (low original dense ratio), exactly the regime
+    # where the paper's reordering shines.
+    for nc, rp, nnz, noise in (
+        (240, 8, 24, 0.0),
+        (256, 8, 20, 0.1),
+        (320, 6, 28, 0.1),
+        (384, 5, 16, 0.2),
+        (200, 10, 24, 0.3),
+    ):
+        specs.append(
+            (f"hidden_c{nc}_r{rp}_n{int(noise*100)}", "hidden", "high",
+             lambda nc=nc, rp=rp, nnz=nnz, noise=noise, seed=None: hidden_clusters(
+                 max(8, int(nc * s)), rp, r(6144), nnz, noise=noise, seed=seed))
+        )
+
+    # --- community graphs (SBM): hidden structure over a graph ----------
+    for nb, bs, p_in in ((128, 16, 0.30), (160, 12, 0.40), (96, 20, 0.25)):
+        specs.append(
+            (f"sbm_b{nb}_s{bs}", "sbm", "medium",
+             lambda nb=nb, bs=bs, p_in=p_in, seed=None: stochastic_block_model(
+                 max(4, int(nb * s)), bs, p_in=p_in, p_out=0.0008, seed=seed))
+        )
+
+    # --- bipartite rating matrices --------------------------------------
+    for nu, ni, mean, conc in (
+        (2000, 1600, 16, 0.8),
+        (2400, 2000, 12, 0.6),
+        (3000, 1600, 20, 0.9),
+    ):
+        specs.append(
+            (f"bipartite_u{nu}_i{ni}_c{int(conc*100)}", "bipartite", "medium",
+             lambda nu=nu, ni=ni, mean=mean, conc=conc, seed=None: bipartite_ratings(
+                 r(nu), r(ni), mean, concentration=conc, seed=seed))
+        )
+
+    return specs
+
+
+def build_corpus(
+    scale: str = "small",
+    *,
+    seed: int = 2020,
+    repeats: int = 2,
+    categories: tuple[str, ...] | None = None,
+) -> list[CorpusEntry]:
+    """Assemble the corpus.
+
+    Parameters
+    ----------
+    scale:
+        ``"tiny"`` (fast tests), ``"small"`` (default benches),
+        ``"medium"``, or ``"paper"`` (paper-sized rows).
+    seed:
+        Master seed; each entry derives an independent stream, so the
+        corpus is reproducible regardless of iteration order.
+    repeats:
+        Seeded replicas per specification (the paper's population has many
+        near-siblings; replicas give the band tables smoother mass).
+    categories:
+        Optional filter (e.g. ``("hidden", "rmat")``).
+
+    Returns
+    -------
+    list[CorpusEntry]
+    """
+    if scale not in _SCALES:
+        raise DatasetError(f"unknown scale {scale!r}; expected one of {sorted(_SCALES)}")
+    if repeats < 1:
+        raise DatasetError(f"repeats must be >= 1, got {repeats}")
+    from repro.util.rng import spawn_generators
+
+    specs = _specs(_SCALES[scale])
+    if categories is not None:
+        specs = [sp for sp in specs if sp[1] in categories]
+        if not specs:
+            raise DatasetError(f"no corpus specs match categories {categories!r}")
+    rngs = spawn_generators(seed, len(specs) * repeats)
+    entries: list[CorpusEntry] = []
+    k = 0
+    for name, category, benefit, factory in specs:
+        for rep in range(repeats):
+            matrix = factory(seed=rngs[k])
+            k += 1
+            entries.append(
+                CorpusEntry(
+                    name=f"{name}_rep{rep}",
+                    category=category,
+                    expected_benefit=benefit,
+                    matrix=matrix,
+                    params={"scale": scale, "rep": rep},
+                )
+            )
+    return entries
+
+
+def corpus_summary(entries: list[CorpusEntry]) -> list[dict]:
+    """Structural summary of every corpus entry (for reports)."""
+    out = []
+    for e in entries:
+        row = {"name": e.name, "category": e.category, "expected_benefit": e.expected_benefit}
+        row.update(structural_summary(e.matrix).as_dict())
+        out.append(row)
+    return out

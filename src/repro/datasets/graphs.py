@@ -1,0 +1,200 @@
+"""Graph-shaped matrix generators (from scratch).
+
+Real repository matrices are dominated by graphs; three canonical families
+are generated here without external dependencies:
+
+* :func:`rmat` — the R-MAT/Kronecker recursive generator behind the
+  Graph500 benchmark (power-law degrees, community-ish structure);
+* :func:`small_world` — Watts–Strogatz ring rewiring (strong neighbour
+  locality, i.e. naturally pre-clustered);
+* :func:`bipartite_ratings` — user x item rating-style rectangular
+  matrices with item popularity skew and user-taste clusters (the
+  collaborative-filtering workload motivating the paper's SDDMM use case).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.util.rng import as_generator
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["rmat", "small_world", "bipartite_ratings", "stochastic_block_model"]
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed=None,
+) -> CSRMatrix:
+    """R-MAT graph: ``2**scale`` vertices, ``edge_factor`` edges per vertex.
+
+    Each edge picks its (row, column) bits independently with quadrant
+    probabilities ``(a, b, c, d=1-a-b-c)`` — the standard recursive
+    construction, fully vectorised (one ``(edges, scale)`` random matrix
+    per coordinate bit-plane).
+    """
+    scale = check_positive("scale", scale)
+    edge_factor = check_positive("edge_factor", edge_factor)
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError(f"quadrant probabilities must be non-negative, got d={d}")
+    rng = as_generator(seed)
+    n = 1 << scale
+    n_edges = n * edge_factor
+    rows = np.zeros(n_edges, dtype=np.int64)
+    cols = np.zeros(n_edges, dtype=np.int64)
+    for _bit in range(scale):
+        r = rng.random(n_edges)
+        # Quadrants in (row_bit, col_bit) order: a=(0,0) b=(0,1) c=(1,0) d=(1,1)
+        row_bit = (r >= a + b).astype(np.int64)
+        col_bit = ((r >= a) & (r < a + b) | (r >= a + b + c)).astype(np.int64)
+        rows = (rows << 1) | row_bit
+        cols = (cols << 1) | col_bit
+    values = rng.uniform(0.5, 1.5, size=n_edges)
+    return COOMatrix.from_arrays((n, n), rows, cols, values).to_csr()
+
+
+def small_world(n: int, k: int, p: float = 0.1, seed=None) -> CSRMatrix:
+    """Watts–Strogatz graph: ring lattice of degree ``2k`` with rewiring
+    probability ``p``.
+
+    Low ``p`` keeps strong neighbour locality (pre-clustered); high ``p``
+    approaches a random graph.
+    """
+    n = check_positive("n", n)
+    k = check_positive("k", k)
+    check_in_range("p", p, 0.0, 1.0)
+    if 2 * k >= n:
+        raise ValueError(f"need 2k < n, got k={k}, n={n}")
+    rng = as_generator(seed)
+    base = np.arange(n, dtype=np.int64)
+    rows_list, cols_list = [], []
+    for offset in range(1, k + 1):
+        targets = (base + offset) % n
+        rewire = rng.random(n) < p
+        targets = targets.copy()
+        targets[rewire] = rng.integers(0, n, size=int(rewire.sum()))
+        rows_list.append(base)
+        cols_list.append(targets)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    # Symmetrise (undirected) and drop self-loops from rewiring.
+    all_rows = np.concatenate([rows, cols])
+    all_cols = np.concatenate([cols, rows])
+    keep = all_rows != all_cols
+    all_rows, all_cols = all_rows[keep], all_cols[keep]
+    values = rng.uniform(0.5, 1.5, size=all_rows.size)
+    return COOMatrix.from_arrays((n, n), all_rows, all_cols, values).to_csr()
+
+
+def bipartite_ratings(
+    n_users: int,
+    n_items: int,
+    mean_ratings: int,
+    *,
+    n_taste_groups: int = 8,
+    concentration: float = 0.7,
+    seed=None,
+) -> CSRMatrix:
+    """User x item rating matrix with taste clusters and popularity skew.
+
+    Each user belongs to a taste group; a fraction ``concentration`` of a
+    user's ratings fall inside the group's item pool (hidden cluster
+    structure over *rows*), the rest are drawn from global popularity.
+    """
+    n_users = check_positive("n_users", n_users)
+    n_items = check_positive("n_items", n_items)
+    mean_ratings = check_positive("mean_ratings", mean_ratings)
+    check_positive("n_taste_groups", n_taste_groups)
+    check_in_range("concentration", concentration, 0.0, 1.0)
+    rng = as_generator(seed)
+
+    pool_size = max(1, n_items // n_taste_groups)
+    pools = [
+        rng.choice(n_items, size=pool_size, replace=False)
+        for _ in range(n_taste_groups)
+    ]
+    group_of_user = rng.integers(0, n_taste_groups, size=n_users)
+
+    lengths = np.maximum(1, rng.poisson(mean_ratings, size=n_users)).astype(np.int64)
+    lengths = np.minimum(lengths, n_items)
+    rows = np.repeat(np.arange(n_users, dtype=np.int64), lengths)
+    total = int(lengths.sum())
+    in_pool = rng.random(total) < concentration
+    cols = np.empty(total, dtype=np.int64)
+    # Global popularity: Zipf-ranked.
+    ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    cdf = np.cumsum(ranks ** (-1.0))
+    cdf /= cdf[-1]
+    cols[~in_pool] = np.searchsorted(cdf, rng.random(int((~in_pool).sum())))
+    # Pool picks: index into the user's group pool.
+    pool_rows = rows[in_pool]
+    pool_pick = rng.integers(0, pool_size, size=int(in_pool.sum()))
+    pool_matrix = np.stack(pools)  # (groups, pool_size)
+    cols[in_pool] = pool_matrix[group_of_user[pool_rows], pool_pick]
+    cols = np.minimum(cols, n_items - 1)
+    values = rng.uniform(0.5, 1.5, size=total)
+    return COOMatrix.from_arrays((n_users, n_items), rows, cols, values).to_csr()
+
+
+def stochastic_block_model(
+    n_blocks: int,
+    block_size: int,
+    *,
+    p_in: float = 0.2,
+    p_out: float = 0.002,
+    shuffle: bool = True,
+    seed=None,
+) -> CSRMatrix:
+    """Stochastic block model: community graph with optional label shuffle.
+
+    Vertices split into ``n_blocks`` communities of ``block_size``; an edge
+    appears with probability ``p_in`` inside a community and ``p_out``
+    across.  With ``shuffle=True`` the vertex labels are randomly permuted,
+    hiding the community structure from consecutive-row heuristics — the
+    graph analogue of :func:`repro.datasets.hidden_clusters` and the
+    typical input for GNN workloads on social/citation networks.
+    """
+    check_positive("n_blocks", n_blocks)
+    check_positive("block_size", block_size)
+    check_in_range("p_in", p_in, 0.0, 1.0)
+    check_in_range("p_out", p_out, 0.0, 1.0)
+    rng = as_generator(seed)
+    n = n_blocks * block_size
+
+    rows_list, cols_list = [], []
+    # Intra-community edges: dense sampling per block (block_size is small).
+    for b in range(n_blocks):
+        base = b * block_size
+        mask = rng.random((block_size, block_size)) < p_in
+        r, c = np.nonzero(mask)
+        rows_list.append(base + r)
+        cols_list.append(base + c)
+    # Inter-community edges: sparse global sampling.
+    expected_out = int(p_out * n * n)
+    if expected_out:
+        r = rng.integers(0, n, size=expected_out)
+        c = rng.integers(0, n, size=expected_out)
+        keep = (r // block_size) != (c // block_size)
+        rows_list.append(r[keep])
+        cols_list.append(c[keep])
+    rows = np.concatenate(rows_list).astype(np.int64)
+    cols = np.concatenate(cols_list).astype(np.int64)
+    # Symmetrise and drop self-loops.
+    all_rows = np.concatenate([rows, cols])
+    all_cols = np.concatenate([cols, rows])
+    off_diag = all_rows != all_cols
+    all_rows, all_cols = all_rows[off_diag], all_cols[off_diag]
+    if shuffle:
+        relabel = rng.permutation(n).astype(np.int64)
+        all_rows = relabel[all_rows]
+        all_cols = relabel[all_cols]
+    values = rng.uniform(0.5, 1.5, size=all_rows.size)
+    return COOMatrix.from_arrays((n, n), all_rows, all_cols, values).to_csr()

@@ -1,0 +1,52 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so downstream users can catch the whole family with a
+single ``except`` clause while still letting programming errors
+(``TypeError`` from NumPy, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "FormatError",
+    "ValidationError",
+    "ConfigError",
+    "SimulationError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Operands have incompatible shapes (e.g. SpMM with mismatched K)."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse container's internal arrays violate the format invariants.
+
+    Raised by the ``validate()`` methods of :class:`repro.sparse.COOMatrix`,
+    :class:`repro.sparse.CSRMatrix` and :class:`repro.sparse.CSCMatrix`, and
+    by the MatrixMarket parser on malformed input.
+    """
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument value is outside its documented domain."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An experiment or device configuration is inconsistent."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The GPU performance model was driven into an impossible state."""
+
+
+class DatasetError(ReproError, RuntimeError):
+    """A dataset generator or corpus entry could not produce a matrix."""

@@ -1,0 +1,60 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Layered as data -> records -> presentation:
+
+* :mod:`repro.experiments.config` / :mod:`repro.experiments.runner` run the
+  corpus through the pipeline + performance model and produce
+  :class:`repro.experiments.MatrixRecord` rows;
+* :mod:`repro.experiments.tables` compute the paper's Tables 1–4 (band
+  summaries, geometric means);
+* :mod:`repro.experiments.figures` compute the data series of Figs. 8–12
+  and the §5.2 METIS comparison, with ASCII renderings for the terminal;
+* :mod:`repro.experiments.report` assembles the paper-vs-measured
+  EXPERIMENTS.md.
+
+Per-experiment mapping lives in DESIGN.md §4.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.records import MatrixRecord, load_records, save_records
+from repro.experiments.runner import run_experiment
+from repro.experiments.tables import (
+    category_breakdown,
+    format_band_table,
+    format_category_table,
+    preprocessing_ratio_bands,
+    speedup_bands,
+    summary_stats,
+)
+from repro.experiments.figures import (
+    fig8_speedup_histogram,
+    fig9_effectiveness_scatter,
+    fig10_throughput_series,
+    fig11_throughput_series,
+    fig12_preprocessing_times,
+    metis_comparison,
+)
+from repro.experiments.html_report import render_html_report
+from repro.experiments.report import render_experiments_markdown
+
+__all__ = [
+    "ExperimentConfig",
+    "MatrixRecord",
+    "load_records",
+    "save_records",
+    "run_experiment",
+    "speedup_bands",
+    "preprocessing_ratio_bands",
+    "summary_stats",
+    "format_band_table",
+    "category_breakdown",
+    "format_category_table",
+    "fig8_speedup_histogram",
+    "fig9_effectiveness_scatter",
+    "fig10_throughput_series",
+    "fig11_throughput_series",
+    "fig12_preprocessing_times",
+    "metis_comparison",
+    "render_experiments_markdown",
+    "render_html_report",
+]

@@ -1,0 +1,99 @@
+"""Minimal ASCII plotting for terminal figure output.
+
+The figure modules emit raw data series (for downstream plotting tools) and
+use these helpers to also render a quick-look chart in the terminal, so the
+benches can display Fig. 9/10-style output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_scatter", "ascii_lines", "ascii_histogram"]
+
+
+def _grid(width: int, height: int) -> list[list[str]]:
+    return [[" "] * width for _ in range(height)]
+
+
+def _render(grid: list[list[str]]) -> str:
+    return "\n".join("".join(row) for row in grid)
+
+
+def ascii_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    marks: list[str] | None = None,
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+) -> str:
+    """Scatter plot; ``marks`` gives a per-point character (default ``*``)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size == 0:
+        return f"{title}\n(no data)"
+    xmin, xmax = float(x.min()), float(x.max())
+    ymin, ymax = float(y.min()), float(y.max())
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+    grid = _grid(width, height)
+    for i in range(x.size):
+        col = int((x[i] - xmin) / xspan * (width - 1))
+        row = height - 1 - int((y[i] - ymin) / yspan * (height - 1))
+        grid[row][col] = (marks[i] if marks else "*")[:1]
+    body = _render(grid)
+    header = f"{title}\n" if title else ""
+    footer = (
+        f"\nx: [{xmin:.3g}, {xmax:.3g}]  y: [{ymin:.3g}, {ymax:.3g}]"
+    )
+    return header + body + footer
+
+
+def ascii_lines(
+    series: dict[str, np.ndarray],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    log_y: bool = False,
+) -> str:
+    """Overlayed line series (x is the index).  Each series gets the first
+    character of its label as the plot mark."""
+    if not series:
+        return f"{title}\n(no data)"
+    ys = {k: np.asarray(v, dtype=np.float64) for k, v in series.items()}
+    if log_y:
+        ys = {k: np.log10(np.maximum(v, 1e-30)) for k, v in ys.items()}
+    all_vals = np.concatenate(list(ys.values()))
+    ymin, ymax = float(all_vals.min()), float(all_vals.max())
+    yspan = (ymax - ymin) or 1.0
+    n = max(v.size for v in ys.values())
+    grid = _grid(width, height)
+    for label, v in ys.items():
+        mark = label[0]
+        for i in range(v.size):
+            col = int(i / max(n - 1, 1) * (width - 1))
+            row = height - 1 - int((v[i] - ymin) / yspan * (height - 1))
+            grid[row][col] = mark
+    legend = "  ".join(f"{k[0]}={k}" for k in ys)
+    scale = "log10 " if log_y else ""
+    header = f"{title}\n" if title else ""
+    return f"{header}{_render(grid)}\n{scale}y: [{ymin:.3g}, {ymax:.3g}]  {legend}"
+
+
+def ascii_histogram(
+    labels: list[str], values: np.ndarray, *, width: int = 50, title: str = ""
+) -> str:
+    """Horizontal bar chart of percentages/counts."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return f"{title}\n(no data)"
+    vmax = float(values.max()) or 1.0
+    label_w = max(len(s) for s in labels) + 1
+    lines = [title] if title else []
+    for label, v in zip(labels, values):
+        bar = "#" * int(round(v / vmax * width))
+        lines.append(f"{label:<{label_w}} {bar} {v:.1f}")
+    return "\n".join(lines)

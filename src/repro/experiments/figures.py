@@ -1,0 +1,209 @@
+"""Figure data series (paper Figs. 8–12 and the §5.2 METIS comparison).
+
+Every ``figN_*`` function returns a plain dict of arrays/lists (the data a
+plotting tool would consume) plus a ``"text"`` key holding an ASCII
+rendering for terminal display.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.vertex_reorder import apply_symmetric_order, bisection_order
+from repro.datasets.corpus import CorpusEntry
+from repro.experiments.asciiplot import ascii_histogram, ascii_lines, ascii_scatter
+from repro.experiments.records import MatrixRecord
+from repro.experiments.tables import needing_reordering, records_at_k, speedup_bands
+from repro.gpu.executor import GPUExecutor
+from repro.reorder.pipeline import ReorderConfig, build_plan
+
+__all__ = [
+    "fig8_speedup_histogram",
+    "fig9_effectiveness_scatter",
+    "fig10_throughput_series",
+    "fig11_throughput_series",
+    "fig12_preprocessing_times",
+    "metis_comparison",
+]
+
+
+def fig8_speedup_histogram(records: list[MatrixRecord], k: int) -> dict:
+    """Fig. 8: distribution of SpMM speedups over cuSPARSE, for ASpT-NR
+    and ASpT-RR, over *all* matrices."""
+    recs = records_at_k(records, k)
+    nr = speedup_bands(recs, "spmm_nr_vs_cusparse")
+    rr = speedup_bands(recs, "spmm_rr_vs_cusparse")
+    labels = list(nr.keys())
+    text = "\n\n".join(
+        [
+            ascii_histogram(labels, np.array(list(nr.values())),
+                            title=f"Fig 8 (K={k}): ASpT-NR vs cuSPARSE (% of matrices)"),
+            ascii_histogram(labels, np.array(list(rr.values())),
+                            title=f"Fig 8 (K={k}): ASpT-RR vs cuSPARSE (% of matrices)"),
+        ]
+    )
+    return {"k": k, "bands_nr": nr, "bands_rr": rr, "text": text}
+
+
+def fig9_effectiveness_scatter(records: list[MatrixRecord], k: int) -> dict:
+    """Fig. 9: ΔDenseRatio vs ΔAvgSim, marked by SpMM speedup/slowdown
+    (ASpT-RR vs ASpT-NR) — only matrices where reordering ran."""
+    recs = needing_reordering(records_at_k(records, k))
+    dx = np.array([r.delta_dense_ratio for r in recs])
+    dy = np.array([r.delta_avg_sim for r in recs])
+    speedup = np.array(
+        [r.spmm_aspt_nr_s / r.spmm_aspt_rr_s for r in recs], dtype=np.float64
+    )
+    marks = ["+" if s >= 1.0 else "-" for s in speedup]
+    n_improved = int((speedup >= 1.0).sum())
+    text = ascii_scatter(
+        dx,
+        dy,
+        marks,
+        title=(
+            f"Fig 9 (K={k}): x=dDenseRatio y=dAvgSim, '+'=speedup '-'=slowdown "
+            f"({n_improved}/{len(recs)} improved)"
+        ),
+    )
+    return {
+        "k": k,
+        "delta_dense_ratio": dx.tolist(),
+        "delta_avg_sim": dy.tolist(),
+        "speedup": speedup.tolist(),
+        "n_improved": n_improved,
+        "n_total": len(recs),
+        "text": text,
+    }
+
+
+def _throughput_series(recs: list[MatrixRecord], op: str) -> dict[str, np.ndarray]:
+    if op == "spmm":
+        nr = np.array([r.spmm_gflops("aspt_nr") for r in recs])
+        order = np.argsort(nr)
+        return {
+            "cusparse": np.array([recs[i].spmm_gflops("cusparse") for i in order]),
+            "nr(aspt)": np.array([recs[i].spmm_gflops("aspt_nr") for i in order]),
+            "rr(aspt)": np.array([recs[i].spmm_gflops("aspt_rr") for i in order]),
+        }
+    nr = np.array([r.sddmm_gflops("aspt_nr") for r in recs])
+    order = np.argsort(nr)
+    return {
+        "nr(aspt)": np.array([recs[i].sddmm_gflops("aspt_nr") for i in order]),
+        "rr(aspt)": np.array([recs[i].sddmm_gflops("aspt_rr") for i in order]),
+    }
+
+
+def fig10_throughput_series(records: list[MatrixRecord], k: int) -> dict:
+    """Fig. 10: SpMM throughput (GFLOP/s), matrices needing reordering,
+    sorted by ASpT-NR throughput."""
+    recs = needing_reordering(records_at_k(records, k))
+    series = _throughput_series(recs, "spmm")
+    text = ascii_lines(
+        series, title=f"Fig 10 (K={k}): SpMM throughput, sorted by ASpT-NR", log_y=False
+    )
+    return {"k": k, "series": {n: s.tolist() for n, s in series.items()}, "text": text}
+
+
+def fig11_throughput_series(records: list[MatrixRecord], k: int) -> dict:
+    """Fig. 11: SDDMM throughput (GFLOP/s), same layout as Fig. 10."""
+    recs = needing_reordering(records_at_k(records, k))
+    series = _throughput_series(recs, "sddmm")
+    text = ascii_lines(
+        series, title=f"Fig 11 (K={k}): SDDMM throughput, sorted by ASpT-NR"
+    )
+    return {"k": k, "series": {n: s.tolist() for n, s in series.items()}, "text": text}
+
+
+def fig12_preprocessing_times(records: list[MatrixRecord]) -> dict:
+    """Fig. 12: preprocessing wall-clock per matrix needing reordering
+    (deduplicated across K — preprocessing is K-independent)."""
+    seen: dict[str, float] = {}
+    for r in records:
+        if r.needs_reordering and r.name not in seen:
+            seen[r.name] = r.preprocess_s
+    times = np.array(sorted(seen.values()), dtype=np.float64)
+    stats = {
+        "n": int(times.size),
+        "min_s": float(times.min()) if times.size else 0.0,
+        "max_s": float(times.max()) if times.size else 0.0,
+        "mean_s": float(times.mean()) if times.size else 0.0,
+        "median_s": float(np.median(times)) if times.size else 0.0,
+    }
+    text = ascii_lines(
+        {"preproc(s)": times},
+        title="Fig 12: preprocessing time (sorted, log10 s)",
+        log_y=True,
+    )
+    return {"times_s": times.tolist(), "stats": stats, "text": text}
+
+
+def metis_comparison(
+    entries: list[CorpusEntry],
+    k: int,
+    executor: GPUExecutor | None = None,
+    reorder: ReorderConfig | None = None,
+) -> dict:
+    """§5.2 negative result: vertex reordering (METIS stand-in) for SpMM.
+
+    Only square matrices participate (vertex reordering is a graph
+    relabelling).  For each matrix we report two speedups over plain
+    ASpT-NR on the original ordering: the bisection-vertex-reordered run,
+    and the paper's LSH row reordering (ASpT-RR).  The paper observes
+    slowdowns from METIS on *all* of its real-world matrices; on synthetic
+    matrices whose row order is already random the sharper, still-faithful
+    claim is that row reordering dominates vertex reordering everywhere.
+    """
+    executor = executor or GPUExecutor()
+    reorder = reorder or ReorderConfig(
+        panel_height=64, force_round1=False, force_round2=False
+    )
+    # The row-reordering candidate mirrors the paper's trial-and-error
+    # deployment mode: try both rounds, keep the result if faster (the
+    # §4 gates are a cheap static shortcut for the same decision).
+    tried = ReorderConfig(
+        **{**reorder.__dict__, "force_round1": True, "force_round2": True}
+    )
+    names, categories, vertex_speedups, rr_speedups = [], [], [], []
+    for entry in entries:
+        m = entry.matrix
+        if m.n_rows != m.n_cols:
+            continue
+        base_plan = build_plan(m, reorder)
+        base = executor.spmm_cost(base_plan.cost_view(), k, "aspt").time_s
+        order = bisection_order(m)
+        vertex_reordered = apply_symmetric_order(m, order)
+        vr_plan = build_plan(vertex_reordered, reorder)
+        vr = executor.spmm_cost(vr_plan.cost_view(), k, "aspt").time_s
+        rr_plan = build_plan(m, tried)
+        rr = min(
+            executor.spmm_cost(rr_plan.cost_view(), k, "aspt").time_s, base
+        )  # trial-and-error keeps the original when reordering loses
+        names.append(entry.name)
+        categories.append(entry.category)
+        vertex_speedups.append(base / vr)
+        rr_speedups.append(base / rr)
+    vertex_arr = np.array(vertex_speedups, dtype=np.float64)
+    rr_arr = np.array(rr_speedups, dtype=np.float64)
+    n_slow = int((vertex_arr < 1.0).sum())
+    lines = [
+        f"METIS-like vertex reordering vs LSH row reordering (K={k}); "
+        f"speedups over ASpT-NR on the original order",
+        f"{'matrix':<30}{'category':<14}{'vertex':>8}{'row-RR':>8}",
+    ]
+    for name, cat, v, r in zip(names, categories, vertex_arr, rr_arr):
+        lines.append(f"{name:<30}{cat:<14}{v:>7.2f}x{r:>7.2f}x")
+    lines.append(
+        f"vertex reordering slows down {n_slow}/{len(names)}; row reordering "
+        f">= vertex reordering on {int((rr_arr >= vertex_arr * 0.999).sum())}"
+        f"/{len(names)}"
+    )
+    return {
+        "k": k,
+        "names": names,
+        "categories": categories,
+        "speedup_vs_original": vertex_arr.tolist(),
+        "rr_speedup_vs_original": rr_arr.tolist(),
+        "n_slowdown": n_slow,
+        "n_total": len(names),
+        "text": "\n".join(lines),
+    }

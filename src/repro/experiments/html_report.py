@@ -1,0 +1,156 @@
+"""Self-contained HTML report: tables + embedded SVG figures.
+
+``repro report --html report.html`` renders the whole paper-vs-measured
+story as one portable file — band tables, per-category breakdown, headline
+statistics and inline SVG renderings of Figs. 8–12 — using the same role
+tokens as :mod:`repro.viz` (light and dark palettes via
+``prefers-color-scheme``; the figures themselves are embedded in the mode
+requested at generation time).
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.experiments.figures import (
+    fig8_speedup_histogram,
+    fig9_effectiveness_scatter,
+    fig10_throughput_series,
+    fig11_throughput_series,
+    fig12_preprocessing_times,
+)
+from repro.experiments.records import MatrixRecord
+from repro.experiments.tables import (
+    category_breakdown,
+    needing_reordering,
+    preprocessing_ratio_bands,
+    records_at_k,
+    speedup_bands,
+    summary_stats,
+)
+from repro.viz import figure_svg
+
+__all__ = ["render_html_report"]
+
+_CSS = """
+:root {
+  --surface: #fcfcfb; --text1: #0b0b0b; --text2: #52514e; --grid: #e9e7e2;
+}
+@media (prefers-color-scheme: dark) {
+  :root { --surface: #1a1a19; --text1: #ffffff; --text2: #c3c2b7; --grid: #32312f; }
+}
+body { background: var(--surface); color: var(--text1);
+       font-family: Helvetica, Arial, sans-serif; max-width: 860px;
+       margin: 2rem auto; padding: 0 1rem; line-height: 1.45; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.8rem 0; font-size: 0.9rem; }
+th, td { border: 1px solid var(--grid); padding: 4px 10px; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+th { color: var(--text2); font-weight: 600; }
+figure { margin: 1rem 0; }
+figcaption { color: var(--text2); font-size: 0.85rem; margin-top: 0.3rem; }
+.note { color: var(--text2); font-size: 0.9rem; }
+"""
+
+
+def _band_table(title: str, per_k: dict[int, dict[str, float]]) -> str:
+    ks = sorted(per_k)
+    if not ks:
+        return ""
+    head = "".join(f"<th>K={k}</th>" for k in ks)
+    rows = "".join(
+        "<tr><td>{}</td>{}</tr>".format(
+            escape(band),
+            "".join(f"<td>{per_k[k][band]:.1f}%</td>" for k in ks),
+        )
+        for band in per_k[ks[0]]
+    )
+    return (
+        f"<h2>{escape(title)}</h2>"
+        f"<table><tr><th>band</th>{head}</tr>{rows}</table>"
+    )
+
+
+def _stats_table(title: str, per_k: dict[int, dict]) -> str:
+    rows = "".join(
+        f"<tr><td>K={k}</td><td>{s['n']}</td><td>{s['max']:.2f}x</td>"
+        f"<td>{s['median']:.2f}x</td><td>{s['geomean']:.2f}x</td></tr>"
+        for k, s in sorted(per_k.items())
+    )
+    return (
+        f"<p class='note'>{escape(title)}</p>"
+        "<table><tr><th></th><th>n</th><th>max</th><th>median</th>"
+        f"<th>geomean</th></tr>{rows}</table>"
+    )
+
+
+def _category_table(breakdown: dict[str, dict]) -> str:
+    rows = "".join(
+        f"<tr><td>{escape(cat)}</td><td>{s['n']}</td><td>{s['geomean']:.2f}x</td>"
+        f"<td>{s['median']:.2f}x</td><td>{s['max']:.2f}x</td></tr>"
+        for cat, s in breakdown.items()
+    )
+    return (
+        "<h2>Which structures benefit (K=512)</h2>"
+        "<table><tr><th>category</th><th>n</th><th>geomean</th>"
+        f"<th>median</th><th>max</th></tr>{rows}</table>"
+    )
+
+
+def render_html_report(
+    records: list[MatrixRecord],
+    *,
+    ks: tuple[int, ...] = (512, 1024),
+    mode: str = "light",
+    title: str = "Row-reordering SpMM/SDDMM — paper vs. measured",
+) -> str:
+    """Render the full report as one self-contained HTML document."""
+    subset = needing_reordering(records)
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{escape(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{escape(title)}</h1>",
+        "<p class='note'>Kernel times are outputs of the P100 performance "
+        "model (docs/MODEL.md); preprocessing is measured wall-clock. "
+        "Shapes — who wins, by what factor — are the reproduction targets; "
+        "see DESIGN.md for the substitution arguments.</p>",
+    ]
+
+    t1 = {k: speedup_bands(records_at_k(subset, k), "spmm_vs_best") for k in ks}
+    parts.append(_band_table("Table 1 — SpMM: ASpT-RR vs best(cuSPARSE, ASpT-NR)", t1))
+    parts.append(_stats_table(
+        "Paper: max 2.73x/2.91x, median 1.12x/1.14x, geomean 1.17x/1.19x",
+        {k: summary_stats(records_at_k(subset, k), "spmm_vs_best") for k in ks},
+    ))
+
+    parts.append(_category_table(category_breakdown(records_at_k(records, ks[0]))))
+
+    t2 = {k: speedup_bands(records_at_k(subset, k), "sddmm_vs_nr") for k in ks}
+    parts.append(_band_table("Table 2 — SDDMM: ASpT-RR vs ASpT-NR", t2))
+    parts.append(_stats_table(
+        "Paper: max 3.19x/2.95x, median 1.45x, geomean 1.48x/1.49x",
+        {k: summary_stats(records_at_k(subset, k), "sddmm_vs_nr") for k in ks},
+    ))
+
+    for op, label in (("spmm", "Table 3"), ("sddmm", "Table 4")):
+        bands = {
+            k: preprocessing_ratio_bands(records_at_k(subset, k), op) for k in ks
+        }
+        parts.append(_band_table(
+            f"{label} — preprocessing / {op.upper()} kernel-time ratio", bands
+        ))
+
+    figures = [
+        (8, fig8_speedup_histogram(records, ks[0]), "Fig 8 — speedup bands vs cuSPARSE"),
+        (9, fig9_effectiveness_scatter(records, ks[0]), "Fig 9 — effectiveness plane"),
+        (10, fig10_throughput_series(records, ks[0]), "Fig 10 — SpMM throughput"),
+        (11, fig11_throughput_series(records, ks[0]), "Fig 11 — SDDMM throughput"),
+        (12, fig12_preprocessing_times(records), "Fig 12 — preprocessing time"),
+    ]
+    parts.append("<h2>Figures</h2>")
+    for number, data, caption in figures:
+        svg = figure_svg(number, data, mode=mode)
+        parts.append(f"<figure>{svg}<figcaption>{escape(caption)}</figcaption></figure>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts)

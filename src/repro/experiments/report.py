@@ -1,0 +1,146 @@
+"""EXPERIMENTS.md generation: paper-vs-measured for every table and figure."""
+
+from __future__ import annotations
+
+from repro.experiments.records import MatrixRecord
+from repro.experiments.tables import (
+    category_breakdown,
+    format_band_table,
+    format_category_table,
+    needing_reordering,
+    preprocessing_ratio_bands,
+    records_at_k,
+    speedup_bands,
+    summary_stats,
+)
+
+__all__ = ["render_experiments_markdown"]
+
+_PAPER_CLAIMS = """\
+## Paper headline claims (P100, 1084 matrices, 416 needing reordering)
+
+| claim | paper value |
+|---|---|
+| SpMM max speedup (ASpT-RR vs best of cuSPARSE/ASpT-NR) | 2.73x (K=512), 2.91x (K=1024) |
+| SpMM median speedup | 1.12x / 1.14x |
+| SpMM geometric-mean speedup | 1.17x / 1.19x |
+| SDDMM max speedup (ASpT-RR vs ASpT-NR) | 3.19x / 2.95x |
+| SDDMM median speedup | 1.45x / 1.45x |
+| SDDMM geometric-mean speedup | 1.48x / 1.49x |
+| Matrices improved for SpMM, K=512 (Fig. 9) | 613 / 1084 |
+| METIS vertex reordering | slower on all matrices |
+| Preprocessing (Fig. 12) | 157 ms – 298 s, mean 69.38 s, median 59.58 s |
+"""
+
+
+def _stats_line(stats: dict) -> str:
+    return (
+        f"n={stats['n']}, max={stats['max']:.2f}x, "
+        f"median={stats['median']:.2f}x, geomean={stats['geomean']:.2f}x"
+    )
+
+
+def render_experiments_markdown(
+    records: list[MatrixRecord],
+    ks: tuple[int, ...] = (512, 1024),
+    extra_sections: list[str] | None = None,
+) -> str:
+    """Assemble the EXPERIMENTS.md body from a finished corpus run.
+
+    Absolute seconds/GFLOPs come from the performance model; the document
+    therefore reports *shape* comparisons (who wins, by what factor, how
+    the mass distributes over bands), which is what the model preserves.
+    """
+    lines = [
+        "# EXPERIMENTS — paper vs. measured (modelled P100)",
+        "",
+        "Produced by `repro.experiments` (see DESIGN.md for the experiment",
+        "index and the substitution notes; absolute numbers are model",
+        "outputs, shapes are the reproduction target).",
+        "",
+        _PAPER_CLAIMS,
+        "## Measured on the synthetic corpus",
+        "",
+    ]
+    total = len({r.name for r in records})
+    subset = len({r.name for r in needing_reordering(records)})
+    lines.append(f"Corpus: {total} matrices; {subset} need reordering per the §4 gates.")
+    lines.append("")
+
+    # Tables 1/2 + headline stats.
+    t1 = {
+        k: speedup_bands(needing_reordering(records_at_k(records, k)), "spmm_vs_best")
+        for k in ks
+    }
+    lines.append("### Table 1 — SpMM: ASpT-RR vs best(cuSPARSE, ASpT-NR)")
+    lines.append("```")
+    lines.append(format_band_table("", t1))
+    for k in ks:
+        stats = summary_stats(needing_reordering(records_at_k(records, k)), "spmm_vs_best")
+        lines.append(f"K={k}: {_stats_line(stats)}")
+    lines.append("```")
+    lines.append("")
+
+    lines.append("### Which structures benefit (per-category, K=512)")
+    lines.append("")
+    lines.append("```")
+    lines.append(
+        format_category_table(
+            "SpMM: ASpT-RR vs best(cuSPARSE, ASpT-NR)",
+            category_breakdown(records_at_k(records, ks[0])),
+        )
+    )
+    lines.append("```")
+    lines.append("")
+
+    t2 = {
+        k: speedup_bands(needing_reordering(records_at_k(records, k)), "sddmm_vs_nr")
+        for k in ks
+    }
+    lines.append("### Table 2 — SDDMM: ASpT-RR vs ASpT-NR")
+    lines.append("")
+    lines.append(
+        "Deviation note: our traffic model prices SpMM and SDDMM nearly "
+        "identically (same dense-operand access stream), so Table 2 tracks "
+        "Table 1 closely; the paper's SDDMM gains are larger across the "
+        "board (median 1.45x vs 1.12x), a kernel-internal effect the "
+        "traffic model does not capture."
+    )
+    lines.append("```")
+    lines.append(format_band_table("", t2))
+    for k in ks:
+        stats = summary_stats(needing_reordering(records_at_k(records, k)), "sddmm_vs_nr")
+        lines.append(f"K={k}: {_stats_line(stats)}")
+    lines.append("```")
+    lines.append("")
+
+    # Tables 3/4.
+    lines.append(
+        "Tables 3/4 caveat: preprocessing here is single-process Python "
+        "wall-clock while kernel times are model outputs for a GPU, so the "
+        "absolute ratios sit orders of magnitude above the paper's "
+        "C++/silicon ratios.  The reproducible shape — checked by the "
+        "benches — is that doubling K roughly halves the ratio (kernel "
+        "time grows with K, preprocessing does not)."
+    )
+    lines.append("")
+    import numpy as np
+
+    for op, label in (("spmm", "Table 3"), ("sddmm", "Table 4")):
+        bands = {
+            k: preprocessing_ratio_bands(needing_reordering(records_at_k(records, k)), op)
+            for k in ks
+        }
+        lines.append(f"### {label} — preprocessing / {op.upper()} kernel-time ratio")
+        lines.append("```")
+        lines.append(format_band_table("", bands))
+        for k in ks:
+            subset = needing_reordering(records_at_k(records, k))
+            mean_ratio = float(np.mean([r.preprocess_ratio(op) for r in subset])) if subset else 0.0
+            lines.append(f"K={k}: mean ratio {mean_ratio:.0f}x")
+        lines.append("```")
+        lines.append("")
+
+    if extra_sections:
+        lines.extend(extra_sections)
+    return "\n".join(lines)

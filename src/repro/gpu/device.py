@@ -1,0 +1,137 @@
+"""Device specifications.
+
+:class:`DeviceSpec` collects the machine parameters the cost model reads.
+The :data:`P100` preset matches the paper's §5.1 platform description
+(56 Pascal SMs, 16 GB HBM2 at 732 GB/s, 4 MB L2, 64 KB shared memory per
+SM); peak FP32 throughput is the standard 2 FLOP/cycle/core figure for
+GP100 at boost clock.  :data:`V100` is provided for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+__all__ = ["DeviceSpec", "P100", "V100"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Parameters of the modelled GPU.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    n_sms:
+        Number of streaming multiprocessors.
+    warp_size:
+        Threads per warp (32 on every Nvidia architecture so far).
+    shared_mem_per_sm:
+        Bytes of shared memory per SM (bounds dense-tile width).
+    l2_bytes:
+        Unified L2 cache size in bytes.
+    l2_line_bytes:
+        Granularity of DRAM transactions / L2 lines.
+    dram_bandwidth:
+        Peak DRAM bandwidth, bytes/second.
+    peak_flops:
+        Peak FP32 throughput, FLOP/second.
+    clock_hz:
+        Boost clock (used to convert fixed instruction overheads to time).
+    l2_bandwidth:
+        Aggregate L2 read bandwidth, bytes/second.  L2 *hits* are not free:
+        a row-wise kernel that re-reads a cached dense row still pays this
+        (roughly 3x DRAM on Pascal), whereas the ASpT dense tiles read from
+        per-SM shared memory, which is effectively free at these
+        intensities — this asymmetry is the mechanism behind ASpT's win on
+        well-clustered matrices.
+    """
+
+    name: str
+    n_sms: int
+    warp_size: int
+    shared_mem_per_sm: int
+    l2_bytes: int
+    l2_line_bytes: int
+    dram_bandwidth: float
+    peak_flops: float
+    clock_hz: float
+    l2_bandwidth: float = 2.0e12
+    max_threads_per_sm: int = 2048  #: concurrent-thread limit per SM
+    max_blocks_per_sm: int = 32  #: concurrent-thread-block limit per SM
+    registers_per_sm: int = 65536  #: 32-bit register file per SM
+
+    def __post_init__(self):
+        for field_name in (
+            "n_sms",
+            "warp_size",
+            "shared_mem_per_sm",
+            "l2_bytes",
+            "l2_line_bytes",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ConfigError(f"{field_name} must be > 0")
+        for field_name in ("dram_bandwidth", "peak_flops", "clock_hz", "l2_bandwidth"):
+            if getattr(self, field_name) <= 0:
+                raise ConfigError(f"{field_name} must be > 0")
+        for field_name in ("max_threads_per_sm", "max_blocks_per_sm", "registers_per_sm"):
+            if getattr(self, field_name) <= 0:
+                raise ConfigError(f"{field_name} must be > 0")
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """A copy with some fields replaced (sensitivity studies)."""
+        return replace(self, **kwargs)
+
+    def l2_capacity_rows(self, row_bytes: int, utilization: float = 1.0) -> int:
+        """How many dense-operand rows of ``row_bytes`` fit in L2.
+
+        ``utilization`` < 1 models the share of L2 effectively available to
+        the dense operand (the sparse matrix's own streams and concurrent
+        thread blocks occupy the rest).
+        """
+        if row_bytes <= 0:
+            raise ConfigError(f"row_bytes must be > 0, got {row_bytes}")
+        return max(1, int(self.l2_bytes * utilization) // row_bytes)
+
+    def max_dense_cols(self, k_chunk: int, dtype_bytes: int = 4) -> int:
+        """Dense-tile width limit imposed by shared memory.
+
+        A dense tile stages one row of the dense operand per dense column;
+        with the kernel processing ``k_chunk`` dense-matrix columns per
+        pass, each staged row occupies ``k_chunk * dtype_bytes`` bytes.
+        """
+        per_row = k_chunk * dtype_bytes
+        if per_row <= 0:
+            raise ConfigError("k_chunk and dtype_bytes must be > 0")
+        return max(1, self.shared_mem_per_sm // per_row)
+
+
+#: The paper's evaluation platform (§5.1).
+P100 = DeviceSpec(
+    name="P100",
+    n_sms=56,
+    warp_size=32,
+    shared_mem_per_sm=64 * 1024,
+    l2_bytes=4 * 1024 * 1024,
+    l2_line_bytes=128,
+    dram_bandwidth=732e9,
+    peak_flops=10.6e12,  # 3584 cores * 2 FLOP * 1.48 GHz
+    clock_hz=1.48e9,
+    l2_bandwidth=2.0e12,
+)
+
+#: Successor part, for sensitivity studies only.
+V100 = DeviceSpec(
+    name="V100",
+    n_sms=80,
+    warp_size=32,
+    shared_mem_per_sm=96 * 1024,
+    l2_bytes=6 * 1024 * 1024,
+    l2_line_bytes=128,
+    dram_bandwidth=900e9,
+    peak_flops=15.7e12,
+    clock_hz=1.53e9,
+    l2_bandwidth=2.5e12,
+)

@@ -1,0 +1,387 @@
+"""The user-facing performance estimator.
+
+:class:`GPUExecutor` binds a :class:`~repro.gpu.device.DeviceSpec` and a
+:class:`~repro.gpu.costmodel.CostModelConfig` and estimates SpMM / SDDMM
+kernel time for the three kernel families of the paper's evaluation:
+
+* ``"cusparse"`` — generic row-wise CSR kernel, no intra-block reuse;
+* ``"rowwise"``  — the specialised row-wise kernel (thread blocks of
+  consecutive rows share fetched dense rows);
+* ``"aspt"``     — the two-phase adaptive-sparse-tiling kernel, taking a
+  :class:`~repro.aspt.TiledMatrix` (this covers both ASpT-NR and ASpT-RR —
+  the difference is purely which matrix was tiled);
+* ``"bidmach"``  — SDDMM only, a low-efficiency untiled baseline.
+
+Traffic composition per kernel (all values transaction-padded):
+
+====================  =====================================================
+component             bytes
+====================  =====================================================
+``s``                 sparse matrix streams: ``nnz * (idx + val)`` plus the
+                      row-pointer array
+``x_dense``           ASpT only: one dense-operand row load per dense
+                      column instance (staged via shared memory)
+``x_sparse``          dense-operand row loads that miss the modelled L2 on
+                      the row-wise / remainder stream
+``y``                 output write (SpMM) or dense row-operand read (SDDMM)
+``out``               SDDMM output values
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aspt.tiles import TiledMatrix
+from repro.errors import ConfigError
+from repro.gpu.cache import CacheStats, approx_lru_hits, lru_hits
+from repro.gpu.coalescing import row_load_bytes
+from repro.gpu.costmodel import CostModelConfig, KernelCost
+from repro.gpu.device import P100, DeviceSpec
+from repro.gpu.trace import block_access_stream
+from repro.sparse.csr import CSRMatrix
+from repro.util.validation import check_positive
+
+__all__ = ["GPUExecutor"]
+
+_SPMM_VARIANTS = ("cusparse", "rowwise", "aspt")
+_SDDMM_VARIANTS = ("rowwise", "aspt", "bidmach")
+
+
+class GPUExecutor:
+    """Estimate kernel costs on a modelled GPU.
+
+    Parameters
+    ----------
+    device:
+        Machine parameters (default: the paper's P100).
+    config:
+        Cost-model calibration constants.
+    cache_mode:
+        ``"approx"`` (vectorised reuse-distance model; corpus-scale) or
+        ``"exact"`` (fully-associative LRU; small matrices, validation).
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec = P100,
+        config: CostModelConfig | None = None,
+        cache_mode: str = "approx",
+    ):
+        if cache_mode not in ("approx", "exact"):
+            raise ConfigError(f"cache_mode must be 'approx' or 'exact', got {cache_mode!r}")
+        self.device = device
+        self.config = config if config is not None else CostModelConfig()
+        self.cache_mode = cache_mode
+
+    # ------------------------------------------------------------------
+    # building blocks
+    # ------------------------------------------------------------------
+    def _row_bytes(self, k: int) -> int:
+        """Padded DRAM bytes of one dense-operand row load."""
+        return row_load_bytes(k, self.config.value_bytes, self.device.l2_line_bytes)
+
+    def _x_stream_traffic(
+        self, csr: CSRMatrix, k: int, rows_per_block: int
+    ) -> tuple[float, float, CacheStats]:
+        """Dense-operand traffic of a row-wise access stream.
+
+        Returns ``(dram_bytes, l2_bytes, stats)``: misses of the modelled
+        L2 pay DRAM bandwidth; every other per-non-zero row read still
+        pays L2 bandwidth (an L2 hit is not free — see
+        :class:`repro.gpu.device.DeviceSpec.l2_bandwidth`).
+        """
+        stream = block_access_stream(csr, rows_per_block)
+        if stream.size == 0:
+            return 0.0, 0.0, CacheStats(0, 0)
+        capacity = self.device.l2_capacity_rows(
+            k * self.config.value_bytes, self.config.l2_utilization
+        )
+        if self.cache_mode == "exact":
+            stats = lru_hits(stream, capacity)
+        else:
+            stats = approx_lru_hits(stream, capacity, slack=self.config.cache_slack)
+        row_bytes = self._row_bytes(k)
+        dram = float(stats.misses) * row_bytes
+        # All nnz accesses (pre-dedup) read K floats; the non-DRAM ones are
+        # served by L1/L2 and consume L2 bandwidth.
+        l2 = float(csr.nnz - stats.misses) * row_bytes
+        return dram, l2, stats
+
+    def _dense_preload_traffic(
+        self, tiled: TiledMatrix, k: int
+    ) -> tuple[float, float]:
+        """DRAM and L2 traffic of the dense-tile shared-memory preloads.
+
+        Each panel loads each of its dense columns' X rows once; those
+        loads themselves travel through L2, so a column that is dense in
+        several nearby panels (band boundaries, power-law hubs) is fetched
+        from DRAM only once and from L2 thereafter.
+        """
+        sizes = [c.size for c in tiled.panel_dense_cols]
+        if not any(sizes):
+            return 0.0, 0.0
+        stream = np.concatenate([c for c in tiled.panel_dense_cols if c.size])
+        capacity = self.device.l2_capacity_rows(
+            k * self.config.value_bytes, self.config.l2_utilization
+        )
+        if self.cache_mode == "exact":
+            stats = lru_hits(stream, capacity)
+        else:
+            stats = approx_lru_hits(stream, capacity, slack=self.config.cache_slack)
+        row_bytes = self._row_bytes(k)
+        return float(stats.misses) * row_bytes, float(stats.hits) * row_bytes
+
+    def _s_stream_bytes(self, csr: CSRMatrix) -> float:
+        """Traffic of the sparse matrix's own arrays (one full pass)."""
+        cfg = self.config
+        return float(
+            csr.nnz * (cfg.index_bytes + cfg.value_bytes)
+            + (csr.n_rows + 1) * cfg.index_bytes
+        )
+
+    def _finalise(
+        self,
+        *,
+        op: str,
+        variant: str,
+        k: int,
+        bytes_breakdown: dict,
+        flops: float,
+        launches: int,
+        extra_cycles: float,
+        hit_rate: float,
+        l2_bytes: float = 0.0,
+    ) -> KernelCost:
+        cfg = self.config
+        total_bytes = float(sum(bytes_breakdown.values()))
+        bw = self.device.dram_bandwidth * cfg.bw_eff(variant)
+        time_mem = total_bytes / bw
+        time_l2 = l2_bytes / self.device.l2_bandwidth
+        time_cmp = flops / (self.device.peak_flops * cfg.flop_efficiency)
+        # Launch latency is serial; per-panel/per-nnz bookkeeping executes
+        # concurrently across the SMs, so its cycle total is divided by
+        # the SM count.
+        overhead = (
+            launches * cfg.launch_overhead_s
+            + extra_cycles / self.device.clock_hz / self.device.n_sms
+        )
+        return KernelCost(
+            op=op,
+            variant=variant,
+            k=k,
+            bytes_breakdown=bytes_breakdown,
+            flops=flops,
+            overhead_s=overhead,
+            time_s=max(time_mem, time_l2, time_cmp) + overhead,
+            x_hit_rate=hit_rate,
+        )
+
+    # ------------------------------------------------------------------
+    # SpMM
+    # ------------------------------------------------------------------
+    def spmm_cost(self, matrix, k: int, variant: str) -> KernelCost:
+        """Estimated cost of ``Y = S @ X`` with ``X`` of width ``k``.
+
+        ``matrix`` is a :class:`CSRMatrix` for ``"cusparse"``/``"rowwise"``
+        and a :class:`TiledMatrix` for ``"aspt"``.
+        """
+        k = check_positive("k", k)
+        if variant not in _SPMM_VARIANTS:
+            raise ConfigError(
+                f"unknown SpMM variant {variant!r}; expected one of {_SPMM_VARIANTS}"
+            )
+        cfg = self.config
+        if variant == "aspt":
+            if not isinstance(matrix, TiledMatrix):
+                raise ConfigError("variant 'aspt' requires a TiledMatrix")
+            return self._spmm_aspt(matrix, k)
+        if not isinstance(matrix, CSRMatrix):
+            raise ConfigError(f"variant {variant!r} requires a CSRMatrix")
+        rows_per_block = (
+            cfg.cusparse_rows_per_block if variant == "cusparse" else cfg.warps_per_block
+        )
+        x_bytes, l2_bytes, stats = self._x_stream_traffic(matrix, k, rows_per_block)
+        breakdown = {
+            "s": self._s_stream_bytes(matrix),
+            "x_sparse": x_bytes,
+            "y": float(matrix.n_rows * self._row_bytes(k)),
+        }
+        return self._finalise(
+            op="spmm",
+            variant=variant,
+            k=k,
+            bytes_breakdown=breakdown,
+            flops=2.0 * matrix.nnz * k,
+            launches=1,
+            extra_cycles=0.0,
+            hit_rate=stats.hit_rate,
+            l2_bytes=l2_bytes,
+        )
+
+    def _spmm_aspt(self, tiled: TiledMatrix, k: int) -> KernelCost:
+        cfg = self.config
+        x_dense, l2_dense = self._dense_preload_traffic(tiled, k)
+        x_sparse, l2_bytes, stats = self._x_stream_traffic(
+            tiled.sparse_part, k, cfg.warps_per_block
+        )
+        l2_bytes += l2_dense
+        breakdown = {
+            "s": self._s_stream_bytes(tiled.original),
+            "x_dense": x_dense,
+            "x_sparse": x_sparse,
+            "y": float(tiled.original.n_rows * self._row_bytes(k)),
+        }
+        panels_with_tiles = sum(
+            1 for cols in tiled.panel_dense_cols if cols.size > 0
+        )
+        extra_cycles = (
+            panels_with_tiles * cfg.panel_overhead_cycles
+            + tiled.nnz_dense * cfg.dense_nnz_overhead_cycles
+        )
+        return self._finalise(
+            op="spmm",
+            variant="aspt",
+            k=k,
+            bytes_breakdown=breakdown,
+            flops=2.0 * tiled.original.nnz * k,
+            launches=2,  # dense-tile kernel + remainder kernel
+            extra_cycles=extra_cycles,
+            hit_rate=stats.hit_rate,
+            l2_bytes=l2_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # SDDMM
+    # ------------------------------------------------------------------
+    def sddmm_cost(self, matrix, k: int, variant: str) -> KernelCost:
+        """Estimated cost of ``O = (Y @ X^T) .* S`` with width-``k`` operands.
+
+        ``matrix`` is a :class:`CSRMatrix` for ``"rowwise"``/``"bidmach"``
+        and a :class:`TiledMatrix` for ``"aspt"``.
+        """
+        k = check_positive("k", k)
+        if variant not in _SDDMM_VARIANTS:
+            raise ConfigError(
+                f"unknown SDDMM variant {variant!r}; expected one of {_SDDMM_VARIANTS}"
+            )
+        cfg = self.config
+        if variant == "aspt":
+            if not isinstance(matrix, TiledMatrix):
+                raise ConfigError("variant 'aspt' requires a TiledMatrix")
+            return self._sddmm_aspt(matrix, k)
+        if not isinstance(matrix, CSRMatrix):
+            raise ConfigError(f"variant {variant!r} requires a CSRMatrix")
+        rows_per_block = (
+            1 if variant == "bidmach" else cfg.warps_per_block
+        )
+        x_bytes, l2_bytes, stats = self._x_stream_traffic(matrix, k, rows_per_block)
+        breakdown = {
+            "s": self._s_stream_bytes(matrix),
+            "x_sparse": x_bytes,
+            "y": float(matrix.n_rows * self._row_bytes(k)),
+            "out": float(matrix.nnz * cfg.value_bytes),
+        }
+        return self._finalise(
+            op="sddmm",
+            variant=variant,
+            k=k,
+            bytes_breakdown=breakdown,
+            flops=2.0 * matrix.nnz * k + matrix.nnz,
+            launches=1,
+            extra_cycles=0.0,
+            hit_rate=stats.hit_rate,
+            l2_bytes=l2_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # SpMV (supporting kernel for the vertex- vs row-reordering argument)
+    # ------------------------------------------------------------------
+    def spmv_cost(self, matrix: CSRMatrix, variant: str = "rowwise") -> KernelCost:
+        """Estimated cost of ``y = S @ x`` (dense *vector* operand).
+
+        Unlike SpMM, the dense operand is read at cache-line granularity
+        (32 fp32 elements per 128 B line), so *spatial* locality among
+        nearby column indices matters — which is exactly why classic
+        vertex reorderings (RCM, graph partitioning) help SpMV while doing
+        nothing for SpMM.  Modelled for the row-wise kernel only.
+        """
+        if variant not in ("rowwise", "cusparse"):
+            raise ConfigError(
+                f"unknown SpMV variant {variant!r}; expected 'rowwise' or 'cusparse'"
+            )
+        if not isinstance(matrix, CSRMatrix):
+            raise ConfigError("spmv_cost requires a CSRMatrix")
+        cfg = self.config
+        line = self.device.l2_line_bytes
+        elems_per_line = max(1, line // cfg.value_bytes)
+        rows_per_block = (
+            cfg.cusparse_rows_per_block if variant == "cusparse" else cfg.warps_per_block
+        )
+        if matrix.nnz:
+            # Access stream of x cache lines, deduplicated per thread block.
+            block_ids = matrix.row_ids() // rows_per_block
+            line_ids = matrix.colidx // elems_per_line
+            keys = np.unique(block_ids * np.int64(matrix.n_cols) + line_ids)
+            stream = keys % np.int64(matrix.n_cols)
+            capacity = max(1, int(self.device.l2_bytes * cfg.l2_utilization) // line)
+            if self.cache_mode == "exact":
+                stats = lru_hits(stream, capacity)
+            else:
+                stats = approx_lru_hits(stream, capacity, slack=cfg.cache_slack)
+            x_bytes = float(stats.misses) * line
+            l2_bytes = float(max(stream.size, matrix.nnz // 4) - stats.misses) * line
+            hit_rate = stats.hit_rate
+        else:
+            x_bytes, l2_bytes, hit_rate = 0.0, 0.0, 0.0
+        breakdown = {
+            "s": self._s_stream_bytes(matrix),
+            "x_sparse": x_bytes,
+            "y": float(matrix.n_rows * cfg.value_bytes),
+        }
+        return self._finalise(
+            op="spmv",
+            variant=variant,
+            k=1,
+            bytes_breakdown=breakdown,
+            flops=2.0 * matrix.nnz,
+            launches=1,
+            extra_cycles=0.0,
+            hit_rate=hit_rate,
+            l2_bytes=l2_bytes,
+        )
+
+    def _sddmm_aspt(self, tiled: TiledMatrix, k: int) -> KernelCost:
+        cfg = self.config
+        x_dense, l2_dense = self._dense_preload_traffic(tiled, k)
+        x_sparse, l2_bytes, stats = self._x_stream_traffic(
+            tiled.sparse_part, k, cfg.warps_per_block
+        )
+        l2_bytes += l2_dense
+        breakdown = {
+            "s": self._s_stream_bytes(tiled.original),
+            "x_dense": x_dense,
+            "x_sparse": x_sparse,
+            # Y rows are read by both phases; the dense phase touches only
+            # panels with tiles, bounded above by one full pass per phase.
+            "y": float(tiled.original.n_rows * self._row_bytes(k)),
+            "out": float(tiled.original.nnz * cfg.value_bytes),
+        }
+        panels_with_tiles = sum(
+            1 for cols in tiled.panel_dense_cols if cols.size > 0
+        )
+        extra_cycles = (
+            panels_with_tiles * cfg.panel_overhead_cycles
+            + tiled.nnz_dense * cfg.dense_nnz_overhead_cycles
+        )
+        return self._finalise(
+            op="sddmm",
+            variant="aspt",
+            k=k,
+            bytes_breakdown=breakdown,
+            flops=2.0 * tiled.original.nnz * k + tiled.original.nnz,
+            launches=2,
+            extra_cycles=extra_cycles,
+            hit_rate=stats.hit_rate,
+            l2_bytes=l2_bytes,
+        )

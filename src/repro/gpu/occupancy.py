@@ -1,0 +1,112 @@
+"""Thread-block occupancy calculator.
+
+The cost model assumes enough concurrent thread blocks to saturate DRAM
+bandwidth and to parallelise per-panel overheads across SMs.  This module
+makes that assumption checkable: given a kernel's launch geometry
+(threads per block, registers per thread, shared memory per block) it
+computes how many blocks each SM can host and the resulting warp
+occupancy — the standard CUDA occupancy calculation.
+
+Used by ``tests/unit/test_occupancy.py`` to show the modelled kernels'
+geometries (row-wise: 128-thread blocks, no shared memory; ASpT dense
+phase: 128-thread blocks + a K-chunk tile in shared memory) sustain high
+occupancy on the P100, which is what licenses the cost model's
+"overheads divide by n_sms" and "bandwidth saturated" simplifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.gpu.device import DeviceSpec
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["OccupancyResult", "occupancy"]
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation.
+
+    Attributes
+    ----------
+    blocks_per_sm:
+        Concurrent thread blocks one SM can host.
+    active_warps:
+        Warps resident per SM (``blocks_per_sm * warps_per_block``).
+    occupancy:
+        ``active_warps / max_warps_per_sm`` in [0, 1].
+    limiter:
+        Which resource bound ``blocks_per_sm``: ``"blocks"``,
+        ``"threads"``, ``"registers"`` or ``"shared_memory"``.
+    """
+
+    blocks_per_sm: int
+    active_warps: int
+    occupancy: float
+    limiter: str
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    *,
+    registers_per_thread: int = 32,
+    shared_bytes_per_block: int = 0,
+) -> OccupancyResult:
+    """Compute warp occupancy for a launch geometry on ``device``.
+
+    Parameters
+    ----------
+    device:
+        Machine limits (threads/blocks/registers/shared memory per SM).
+    threads_per_block:
+        Launch block size; must be a multiple of the warp size (CUDA
+        rounds up internally; requiring the multiple keeps the arithmetic
+        honest).
+    registers_per_thread:
+        Compiler-reported register usage (32 is typical for these
+        memory-bound kernels).
+    shared_bytes_per_block:
+        Static + dynamic shared memory per block (the ASpT dense phase
+        stages ``tile_cols * k_chunk * 4`` bytes).
+    """
+    threads_per_block = check_positive("threads_per_block", threads_per_block)
+    registers_per_thread = check_positive("registers_per_thread", registers_per_thread)
+    shared_bytes_per_block = check_nonnegative(
+        "shared_bytes_per_block", shared_bytes_per_block
+    )
+    if threads_per_block % device.warp_size:
+        raise ValidationError(
+            f"threads_per_block={threads_per_block} must be a multiple of the "
+            f"warp size ({device.warp_size})"
+        )
+    if threads_per_block > device.max_threads_per_sm:
+        raise ValidationError(
+            f"threads_per_block={threads_per_block} exceeds the per-SM thread "
+            f"limit ({device.max_threads_per_sm})"
+        )
+
+    limits = {
+        "blocks": device.max_blocks_per_sm,
+        "threads": device.max_threads_per_sm // threads_per_block,
+        "registers": device.registers_per_sm
+        // (registers_per_thread * threads_per_block),
+        "shared_memory": (
+            device.shared_mem_per_sm // shared_bytes_per_block
+            if shared_bytes_per_block
+            else device.max_blocks_per_sm
+        ),
+    }
+    limiter, blocks = min(limits.items(), key=lambda kv: kv[1])
+    blocks = int(blocks)
+    warps_per_block = threads_per_block // device.warp_size
+    max_warps = device.max_threads_per_sm // device.warp_size
+    active = blocks * warps_per_block
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        active_warps=active,
+        occupancy=active / max_warps if max_warps else 0.0,
+        limiter=limiter,
+    )

@@ -1,0 +1,38 @@
+"""Functionally correct SpMM and SDDMM kernels.
+
+Two families:
+
+* **Row-wise** kernels (:mod:`repro.kernels.spmm`, :mod:`repro.kernels.sddmm`)
+  implementing the paper's Alg. 1 / Alg. 2 semantics, both as a readable
+  reference loop and as a vectorised production path.
+* **Tiled** kernels (:mod:`repro.kernels.aspt_spmm`,
+  :mod:`repro.kernels.aspt_sddmm`) operating on a
+  :class:`repro.aspt.TiledMatrix`, computing the dense tiles through an
+  explicitly staged panel buffer (the functional analogue of the GPU
+  shared-memory path) and the remainder row-wise.
+
+These kernels compute *results*; the corresponding *performance* estimates
+come from :mod:`repro.gpu`, which models the same access patterns on a
+P100-like memory hierarchy.
+"""
+
+from repro.kernels.spmm import spmm, spmm_blocked, spmm_rowwise_reference
+from repro.kernels.spmv import spmv, spmv_rowwise_reference
+from repro.kernels.sddmm import sddmm, sddmm_rowwise_reference
+from repro.kernels.aspt_spmm import spmm_tiled
+from repro.kernels.aspt_sddmm import sddmm_tiled
+from repro.kernels.validate import assert_spmm_correct, assert_sddmm_correct
+
+__all__ = [
+    "spmm",
+    "spmm_blocked",
+    "spmm_rowwise_reference",
+    "spmv",
+    "spmv_rowwise_reference",
+    "sddmm",
+    "sddmm_rowwise_reference",
+    "spmm_tiled",
+    "sddmm_tiled",
+    "assert_spmm_correct",
+    "assert_sddmm_correct",
+]

@@ -1,0 +1,107 @@
+"""Trial-and-error selection (paper §4, last paragraph).
+
+"A simple method to determine whether to do row-reordering in real
+applications is by trial-and-error ... do SpMM or SDDMM on both the
+reordered matrix and the original matrix.  If the reordered matrix is
+faster, keep the row-reordering for the rest of iterations."
+
+Here "run both and time them" means evaluating both candidates under the
+GPU performance model; with a real device the same interface would wrap
+wall-clock timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+from repro.gpu.costmodel import KernelCost
+from repro.gpu.executor import GPUExecutor
+from repro.reorder.pipeline import ExecutionPlan, ReorderConfig, build_plan
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["AutotuneResult", "autotune"]
+
+_OPS = ("spmm", "sddmm")
+
+
+@dataclass(frozen=True)
+class AutotuneResult:
+    """Outcome of the trial-and-error selection.
+
+    Attributes
+    ----------
+    plan:
+        The chosen execution plan.  When reordering loses, this is a plan
+        built with both rounds forced off (i.e. plain ASpT-NR).
+    use_reordering:
+        Whether the reordered candidate won.
+    cost_reordered / cost_plain:
+        Modelled kernel costs of the two candidates.
+    """
+
+    plan: ExecutionPlan
+    use_reordering: bool
+    cost_reordered: KernelCost
+    cost_plain: KernelCost
+
+    @property
+    def speedup(self) -> float:
+        """Reordered over plain (>1 means reordering wins)."""
+        return self.cost_plain.time_s / self.cost_reordered.time_s
+
+
+def autotune(
+    csr: CSRMatrix,
+    k: int,
+    *,
+    op: str = "spmm",
+    executor: GPUExecutor | None = None,
+    config: ReorderConfig | None = None,
+) -> AutotuneResult:
+    """Build both candidates, cost them, keep the faster.
+
+    Parameters
+    ----------
+    csr:
+        The sparse matrix.
+    k:
+        Dense-operand width the application will use.
+    op:
+        ``"spmm"`` or ``"sddmm"``.
+    executor:
+        Performance model (defaults to a P100 with the frozen constants).
+    config:
+        Reordering parameters.
+
+    Returns
+    -------
+    AutotuneResult
+    """
+    if op not in _OPS:
+        raise ValidationError(f"op must be one of {_OPS}, got {op!r}")
+    executor = executor or GPUExecutor()
+    config = config or ReorderConfig()
+
+    plan_rr = build_plan(csr, config)
+    # The plain candidate is ASpT with no reordering at all.
+    plain_config = ReorderConfig(
+        **{
+            **config.__dict__,
+            "force_round1": False,
+            "force_round2": False,
+        }
+    )
+    plan_nr = build_plan(csr, plain_config)
+
+    cost_fn = executor.spmm_cost if op == "spmm" else executor.sddmm_cost
+    cost_rr = cost_fn(plan_rr.cost_view(), k, "aspt")
+    cost_nr = cost_fn(plan_nr.cost_view(), k, "aspt")
+
+    if cost_rr.time_s <= cost_nr.time_s:
+        return AutotuneResult(
+            plan=plan_rr, use_reordering=True, cost_reordered=cost_rr, cost_plain=cost_nr
+        )
+    return AutotuneResult(
+        plan=plan_nr, use_reordering=False, cost_reordered=cost_rr, cost_plain=cost_nr
+    )

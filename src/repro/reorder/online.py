@@ -1,0 +1,187 @@
+"""Incremental (online) row placement — extension beyond the paper.
+
+The paper's §4 closes with an *online scenario*: reorder in the first
+iteration, keep the result if it is faster.  For workloads where the sparse
+matrix **grows** (streaming graphs, arriving users in a recommender), a
+full re-clustering per batch is wasteful.  :class:`OnlineReorderer`
+maintains the LSH state incrementally:
+
+* it keeps the MinHash hash functions and per-band bucket tables of all
+  rows seen so far;
+* a new row is hashed in ``O(siglen * nnz_row)``, its band buckets yield
+  candidate neighbours, the best exact-similarity match above
+  ``min_similarity`` decides which cluster the row joins (or it starts a
+  new cluster);
+* :meth:`order` emits the current grouped row order at any time, giving
+  the same panel-locality benefit as a batch re-run at a fraction of the
+  cost.
+
+Consistency contract (tested): inserting the rows of a matrix one by one
+groups same-pattern rows together exactly like the batch pipeline does,
+and the emitted order is always a permutation of the rows seen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.similarity.minhash import MERSENNE_PRIME
+from repro.sparse.csr import CSRMatrix
+from repro.util.rng import as_generator
+from repro.util.validation import check_in_range, check_integer_array, check_positive
+
+__all__ = ["OnlineReorderer"]
+
+
+class OnlineReorderer:
+    """Streaming row-clustering index (see module docstring).
+
+    Parameters
+    ----------
+    n_cols:
+        Column universe of the incoming rows.
+    siglen, bsize:
+        MinHash/LSH parameters (paper defaults 128/2).
+    min_similarity:
+        A new row joins the best candidate's cluster only if their exact
+        Jaccard similarity reaches this (default 0.3 — below that, reuse
+        is too thin to pay for grouping).
+    max_cluster:
+        Clusters stop accepting rows at this size (the Alg. 3
+        ``threshold_size`` analogue).
+    seed:
+        Hash-function seed.
+    """
+
+    def __init__(
+        self,
+        n_cols: int,
+        *,
+        siglen: int = 128,
+        bsize: int = 2,
+        min_similarity: float = 0.3,
+        max_cluster: int = 256,
+        seed: int = 0,
+    ):
+        self.n_cols = check_positive("n_cols", n_cols)
+        self.siglen = check_positive("siglen", siglen)
+        self.bsize = check_positive("bsize", bsize)
+        if self.siglen % self.bsize != 0:
+            raise ValidationError(
+                f"bsize={bsize} must divide siglen={siglen}"
+            )
+        self.min_similarity = check_in_range(
+            "min_similarity", min_similarity, 0.0, 1.0
+        )
+        self.max_cluster = check_positive("max_cluster", max_cluster)
+
+        rng = as_generator(seed)
+        p = int(MERSENNE_PRIME)
+        self._p = p
+        self._a = rng.integers(1, p, size=siglen, dtype=np.int64)
+        self._b = rng.integers(0, p, size=siglen, dtype=np.int64)
+        self._nbands = siglen // bsize
+        self._mix = rng.integers(1, 2**61, size=(self._nbands, bsize), dtype=np.int64)
+
+        #: per-band dict: band key -> list of row ids
+        self._buckets: list[dict[int, list[int]]] = [dict() for _ in range(self._nbands)]
+        self._supports: list[np.ndarray] = []  #: sorted column sets per row
+        self._cluster_of: list[int] = []  #: row -> cluster id
+        self._clusters: list[list[int]] = []  #: cluster id -> member rows
+
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Rows inserted so far."""
+        return len(self._supports)
+
+    @property
+    def n_clusters(self) -> int:
+        """Clusters formed so far."""
+        return len(self._clusters)
+
+    def _signature(self, cols: np.ndarray) -> np.ndarray:
+        if cols.size == 0:
+            return np.full(self.siglen, self._p, dtype=np.int64)
+        folded = cols % self._p
+        hashed = (self._a[:, None] * folded[None, :] + self._b[:, None]) % self._p
+        return hashed.min(axis=1)
+
+    def _band_keys(self, signature: np.ndarray) -> np.ndarray:
+        bands = signature.reshape(self._nbands, self.bsize)
+        with np.errstate(over="ignore"):
+            return (bands * self._mix).sum(axis=1, dtype=np.int64)
+
+    def _jaccard_with(self, cols: np.ndarray, other_row: int) -> float:
+        other = self._supports[other_row]
+        if cols.size == 0 and other.size == 0:
+            return 0.0
+        inter = np.intersect1d(cols, other, assume_unique=True).size
+        union = cols.size + other.size - inter
+        return inter / union if union else 0.0
+
+    # ------------------------------------------------------------------
+    def insert_row(self, cols) -> int:
+        """Insert a row given its column indices; returns its cluster id.
+
+        Empty rows form/extend a dedicated singleton-cluster stream (they
+        carry no reuse).
+        """
+        cols = check_integer_array(
+            "cols", np.unique(np.asarray(cols, dtype=np.int64)),
+            min_value=0, max_value=self.n_cols - 1,
+        )
+        row_id = len(self._supports)
+        self._supports.append(cols)
+
+        best_row, best_sim = -1, 0.0
+        signature = self._signature(cols)
+        keys = self._band_keys(signature)
+        if cols.size:
+            seen: set[int] = set()
+            for band, key in enumerate(keys.tolist()):
+                for candidate in self._buckets[band].get(key, ()):
+                    if candidate in seen:
+                        continue
+                    seen.add(candidate)
+                    sim = self._jaccard_with(cols, candidate)
+                    if sim > best_sim:
+                        best_row, best_sim = candidate, sim
+
+        if (
+            best_row >= 0
+            and best_sim >= self.min_similarity
+            and len(self._clusters[self._cluster_of[best_row]]) < self.max_cluster
+        ):
+            cluster = self._cluster_of[best_row]
+        else:
+            cluster = len(self._clusters)
+            self._clusters.append([])
+        self._clusters[cluster].append(row_id)
+        self._cluster_of.append(cluster)
+
+        if cols.size:
+            for band, key in enumerate(keys.tolist()):
+                self._buckets[band].setdefault(int(key), []).append(row_id)
+        return cluster
+
+    def insert_matrix(self, csr: CSRMatrix) -> list[int]:
+        """Insert every row of ``csr`` in order; returns their cluster ids."""
+        if csr.n_cols != self.n_cols:
+            raise ValidationError(
+                f"matrix has {csr.n_cols} columns, index expects {self.n_cols}"
+            )
+        return [self.insert_row(csr.row_cols(i)) for i in range(csr.n_rows)]
+
+    def order(self) -> np.ndarray:
+        """Current grouped row order (cluster by cluster, insertion order)."""
+        if not self._clusters:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(
+            [np.asarray(c, dtype=np.int64) for c in self._clusters]
+        )
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Sizes of the current clusters."""
+        return np.array([len(c) for c in self._clusters], dtype=np.int64)

@@ -1,0 +1,406 @@
+"""The Fig. 5 workflow: reorder -> tile -> reorder the remainder.
+
+``build_plan`` is the main entry point of the library.  It takes a CSR
+matrix and produces an :class:`ExecutionPlan` containing
+
+* the round-1 row permutation (or identity when skipped by the §4 gate),
+* the ASpT tiling of the (possibly) reordered matrix,
+* the round-2 permutation of the sparse remainder (or identity),
+* the Fig. 9 effectiveness statistics (ΔDenseRatio, ΔAvgSim),
+* a wall-clock breakdown of the preprocessing stages.
+
+The plan multiplies in **original coordinates**: ``plan.spmm(X)`` equals
+``S @ X`` for the original ``S`` bit-for-bit in pattern terms — the row
+reordering is purely an execution-order optimisation, never a semantic
+change (this is the paper's central distinction from vertex reordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aspt.tiles import TiledMatrix, tile_matrix
+from repro.clustering.hierarchical import cluster_rows
+from repro.kernels.aspt_sddmm import sddmm_tiled
+from repro.kernels.aspt_spmm import _panel_dense_spmm
+from repro.kernels.spmm import spmm
+from repro.kernels.sddmm import sddmm
+from repro.reorder.heuristics import should_reorder_round1, should_reorder_round2
+from repro.similarity.jaccard import average_consecutive_similarity
+from repro.similarity.lsh import LSHIndex
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import permute_csr_rows
+from repro.util.arrayops import rank_of_permutation
+from repro.util.timing import timed
+from repro.util.validation import check_dense, check_positive
+
+__all__ = ["ReorderConfig", "PlanStats", "ExecutionPlan", "build_plan", "reorder_rows"]
+
+
+@dataclass(frozen=True)
+class ReorderConfig:
+    """Parameters of the reordering pipeline.
+
+    Defaults follow the paper: ``siglen=128``, ``bsize=2``,
+    ``threshold_size=256``, skip thresholds of 10% dense ratio and 0.1
+    average similarity.  ``panel_height`` is the ASpT row-panel height
+    (the worked example uses 3; GPU-scale runs use thread-block-sized
+    panels).
+    """
+
+    siglen: int = 128
+    bsize: int = 2
+    threshold_size: int = 256
+    panel_height: int = 64
+    dense_threshold: int = 2
+    max_dense_cols: int | None = None
+    dense_ratio_skip: float = 0.10
+    avg_sim_skip: float = 0.10
+    lsh_seed: int = 0
+    bucket_cap: int | None = 64
+    measure: str = "jaccard"  #: candidate-scoring measure (extension; paper uses Jaccard)
+    force_round1: bool | None = None  #: override the §4 gate (None = use gate)
+    force_round2: bool | None = None
+
+    def __post_init__(self):
+        check_positive("siglen", self.siglen)
+        check_positive("bsize", self.bsize)
+        check_positive("threshold_size", self.threshold_size)
+        check_positive("panel_height", self.panel_height)
+        check_positive("dense_threshold", self.dense_threshold)
+
+    def lsh_index(self) -> LSHIndex:
+        """The LSH configuration as an index object."""
+        return LSHIndex(
+            siglen=self.siglen,
+            bsize=self.bsize,
+            seed=self.lsh_seed,
+            bucket_cap=self.bucket_cap,
+            measure=self.measure,
+        )
+
+
+@dataclass(frozen=True)
+class PlanStats:
+    """Effectiveness statistics (the axes of the paper's Fig. 9).
+
+    ``delta_dense_ratio`` is the change in the fraction of non-zeros inside
+    dense tiles caused by round 1; ``delta_avg_sim`` the change in average
+    consecutive-row Jaccard of the sparse remainder caused by round 2.
+    """
+
+    dense_ratio_before: float
+    dense_ratio_after: float
+    avg_sim_before: float
+    avg_sim_after: float
+    round1_applied: bool
+    round2_applied: bool
+    n_candidates_round1: int = 0
+    n_candidates_round2: int = 0
+
+    @property
+    def delta_dense_ratio(self) -> float:
+        """Fig. 9 x-axis: change in dense-tile non-zero fraction."""
+        return self.dense_ratio_after - self.dense_ratio_before
+
+    @property
+    def delta_avg_sim(self) -> float:
+        """Fig. 9 y-axis: change in remainder consecutive-row similarity."""
+        return self.avg_sim_after - self.avg_sim_before
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A reordered-and-tiled matrix ready for repeated multiplication.
+
+    Attributes
+    ----------
+    original:
+        The input matrix, untouched.
+    row_order:
+        Round-1 permutation (new position -> original row).
+    tiled:
+        ASpT split of the row-1-reordered matrix.
+    remainder:
+        The sparse remainder with round-2 row ordering applied — the
+        matrix the remainder kernel actually walks.
+    remainder_order:
+        Round-2 permutation over the reordered matrix's row space.
+    stats:
+        Fig. 9 effectiveness statistics.
+    preprocess_seconds:
+        Wall-clock breakdown: ``lsh1``, ``cluster1``, ``permute1``,
+        ``tile``, ``sim2``, ``lsh2``, ``cluster2``, ``total``.
+    """
+
+    original: CSRMatrix
+    row_order: np.ndarray
+    tiled: TiledMatrix
+    remainder: CSRMatrix
+    remainder_order: np.ndarray
+    stats: PlanStats
+    preprocess_seconds: dict = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def preprocessing_time(self) -> float:
+        """Total preprocessing wall-clock in seconds."""
+        return self.preprocess_seconds.get("total", 0.0)
+
+    def cost_view(self) -> TiledMatrix:
+        """A :class:`TiledMatrix` view for the performance model.
+
+        Identical to :attr:`tiled` except that ``sparse_part`` carries the
+        round-2 row ordering, so the executor's remainder access stream
+        reflects the order the kernel really processes.  Note this view is
+        for *cost estimation only*: its dense/sparse parts are no longer a
+        row-aligned partition of ``original`` (``validate()`` would fail).
+        """
+        return TiledMatrix(
+            original=self.tiled.original,
+            dense_part=self.tiled.dense_part,
+            sparse_part=self.remainder,
+            spec=self.tiled.spec,
+            dense_threshold=self.tiled.dense_threshold,
+            panel_dense_cols=self.tiled.panel_dense_cols,
+        )
+
+    # ------------------------------------------------------------------
+    # multiplication in original coordinates
+    # ------------------------------------------------------------------
+    def spmm(self, X: np.ndarray) -> np.ndarray:
+        """``original @ X`` computed through the reordered execution plan."""
+        X = check_dense("X", X, rows=self.original.n_cols)
+        k = X.shape[1]
+        m = self.original.n_rows
+        # Accumulate in round-1 (reordered) row space.
+        y_reordered = np.zeros((m, k), dtype=np.float64)
+        _panel_dense_spmm(
+            self.tiled.dense_part,
+            X,
+            self.tiled.panel_dense_cols,
+            self.tiled.spec.panel_height,
+            y_reordered,
+        )
+        if self.remainder.nnz:
+            y_rem = spmm(self.remainder, X)
+            # remainder row r is reordered-space row remainder_order[r].
+            y_reordered[self.remainder_order] += y_rem
+        # Scatter back: reordered row r is original row row_order[r].
+        out = np.empty_like(y_reordered)
+        out[self.row_order] = y_reordered
+        return out
+
+    def sddmm(self, X: np.ndarray, Y: np.ndarray) -> CSRMatrix:
+        """``(Y @ X.T) .* original`` computed through the plan.
+
+        ``X``/``Y`` are indexed by the *original* columns/rows.
+        """
+        X = check_dense("X", X, rows=self.original.n_cols)
+        Y = check_dense("Y", Y, rows=self.original.n_rows, cols=X.shape[1])
+        # Work in reordered row space, then permute the result rows back.
+        result_reordered = sddmm_tiled(self.tiled, X, Y[self.row_order])
+        inverse = rank_of_permutation(self.row_order)
+        return permute_csr_rows(result_reordered, inverse)
+
+    # ------------------------------------------------------------------
+    # persistence (the paper's offline-deployment scenario)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the plan's decisions to an ``.npz`` file.
+
+        The paper's deployment story is offline: reorder once, reuse the
+        ordering for every future multiplication.  Only the *decisions*
+        (the two permutations, the tiling parameters, the stats) are
+        stored — the tiled structures are recomputed deterministically by
+        :meth:`load`, so the file stays small and version-stable.
+        """
+        np.savez_compressed(
+            path,
+            row_order=self.row_order,
+            remainder_order=self.remainder_order,
+            panel_height=np.int64(self.tiled.spec.panel_height),
+            dense_threshold=np.int64(self.tiled.dense_threshold),
+            stats=np.array(
+                [
+                    self.stats.dense_ratio_before,
+                    self.stats.dense_ratio_after,
+                    self.stats.avg_sim_before,
+                    self.stats.avg_sim_after,
+                    float(self.stats.round1_applied),
+                    float(self.stats.round2_applied),
+                    float(self.stats.n_candidates_round1),
+                    float(self.stats.n_candidates_round2),
+                ]
+            ),
+            preprocess_total=np.float64(self.preprocessing_time),
+        )
+
+    @classmethod
+    def load(cls, path, original: CSRMatrix) -> "ExecutionPlan":
+        """Rebuild a plan saved with :meth:`save` for ``original``.
+
+        ``original`` must be the same matrix the plan was built from (the
+        permutations are checked for shape; content equality is the
+        caller's contract, exactly as with any persisted preprocessing).
+        """
+        with np.load(path) as data:
+            row_order = data["row_order"].astype(np.int64)
+            remainder_order = data["remainder_order"].astype(np.int64)
+            panel_height = int(data["panel_height"])
+            dense_threshold = int(data["dense_threshold"])
+            raw = data["stats"]
+            preprocess_total = float(data["preprocess_total"])
+        if row_order.size != original.n_rows:
+            raise ValueError(
+                f"plan was saved for {row_order.size} rows; matrix has "
+                f"{original.n_rows}"
+            )
+        reordered = permute_csr_rows(original, row_order)
+        tiled = tile_matrix(reordered, panel_height, dense_threshold)
+        remainder = permute_csr_rows(tiled.sparse_part, remainder_order)
+        stats = PlanStats(
+            dense_ratio_before=float(raw[0]),
+            dense_ratio_after=float(raw[1]),
+            avg_sim_before=float(raw[2]),
+            avg_sim_after=float(raw[3]),
+            round1_applied=bool(raw[4]),
+            round2_applied=bool(raw[5]),
+            n_candidates_round1=int(raw[6]),
+            n_candidates_round2=int(raw[7]),
+        )
+        return cls(
+            original=original,
+            row_order=row_order,
+            tiled=tiled,
+            remainder=remainder,
+            remainder_order=remainder_order,
+            stats=stats,
+            preprocess_seconds={"total": preprocess_total},
+        )
+
+    def validate(self, X: np.ndarray | None = None, seed: int = 0) -> None:
+        """Self-check: plan results must match the direct kernels."""
+        rng = np.random.default_rng(seed)
+        if X is None:
+            X = rng.normal(size=(self.original.n_cols, 4))
+        np.testing.assert_allclose(
+            self.spmm(X), spmm(self.original, X), rtol=1e-10, atol=1e-9
+        )
+        Y = rng.normal(size=(self.original.n_rows, X.shape[1]))
+        got = self.sddmm(X, Y)
+        want = sddmm(self.original, X, Y)
+        assert got.same_pattern(want)
+        np.testing.assert_allclose(got.values, want.values, rtol=1e-10, atol=1e-9)
+
+
+def reorder_rows(csr: CSRMatrix, config: ReorderConfig | None = None) -> np.ndarray:
+    """One round of LSH + clustering row reordering (paper Alg. 3).
+
+    Returns the permutation (new position -> original row).  This is the
+    bare reordering primitive; most callers want :func:`build_plan`.
+    """
+    config = config or ReorderConfig()
+    pairs, sims = config.lsh_index().candidate_pairs(csr)
+    result = cluster_rows(
+        csr, pairs, sims,
+        threshold_size=config.threshold_size,
+        measure=config.measure,
+    )
+    return result.order
+
+
+def build_plan(csr: CSRMatrix, config: ReorderConfig | None = None) -> ExecutionPlan:
+    """Run the full Fig. 5 workflow and return an :class:`ExecutionPlan`.
+
+    The §4 gates decide per round whether reordering runs; set
+    ``config.force_round1`` / ``force_round2`` to override (used by the
+    autotuner and the ablation benches).
+    """
+    config = config or ReorderConfig()
+    times: dict[str, float] = {}
+    lsh = config.lsh_index()
+
+    with timed(times, "total"):
+        # ---- round 1 gate + reorder -----------------------------------
+        gate1 = should_reorder_round1(
+            csr,
+            config.panel_height,
+            config.dense_threshold,
+            skip_above=config.dense_ratio_skip,
+        )
+        do_round1 = gate1.reorder if config.force_round1 is None else config.force_round1
+        n_cand1 = 0
+        if do_round1:
+            with timed(times, "lsh1"):
+                pairs, sims = lsh.candidate_pairs(csr)
+            n_cand1 = int(pairs.shape[0])
+            with timed(times, "cluster1"):
+                clustering = cluster_rows(
+                    csr, pairs, sims,
+                    threshold_size=config.threshold_size,
+                    measure=config.measure,
+                )
+            row_order = clustering.order
+            with timed(times, "permute1"):
+                reordered = permute_csr_rows(csr, row_order)
+        else:
+            row_order = np.arange(csr.n_rows, dtype=np.int64)
+            reordered = csr
+
+        # ---- tiling -----------------------------------------------------
+        with timed(times, "tile"):
+            tiled = tile_matrix(
+                reordered,
+                config.panel_height,
+                config.dense_threshold,
+                max_dense_cols=config.max_dense_cols,
+            )
+
+        # ---- round 2 gate + reorder of the remainder -------------------
+        with timed(times, "sim2"):
+            gate2 = should_reorder_round2(
+                tiled.sparse_part, skip_above=config.avg_sim_skip
+            )
+        do_round2 = gate2.reorder if config.force_round2 is None else config.force_round2
+        n_cand2 = 0
+        if do_round2 and tiled.sparse_part.nnz:
+            with timed(times, "lsh2"):
+                pairs2, sims2 = lsh.candidate_pairs(tiled.sparse_part)
+            n_cand2 = int(pairs2.shape[0])
+            with timed(times, "cluster2"):
+                clustering2 = cluster_rows(
+                    tiled.sparse_part,
+                    pairs2,
+                    sims2,
+                    threshold_size=config.threshold_size,
+                    measure=config.measure,
+                )
+            remainder_order = clustering2.order
+            remainder = permute_csr_rows(tiled.sparse_part, remainder_order)
+        else:
+            do_round2 = False
+            remainder_order = np.arange(csr.n_rows, dtype=np.int64)
+            remainder = tiled.sparse_part
+
+    stats = PlanStats(
+        dense_ratio_before=gate1.indicator,
+        dense_ratio_after=tiled.dense_ratio,
+        avg_sim_before=gate2.indicator,
+        avg_sim_after=average_consecutive_similarity(remainder),
+        round1_applied=bool(do_round1),
+        round2_applied=bool(do_round2),
+        n_candidates_round1=n_cand1,
+        n_candidates_round2=n_cand2,
+    )
+    return ExecutionPlan(
+        original=csr,
+        row_order=row_order,
+        tiled=tiled,
+        remainder=remainder,
+        remainder_order=remainder_order,
+        stats=stats,
+        preprocess_seconds=times,
+    )

@@ -1,0 +1,146 @@
+"""ELLPACK (ELL) sparse format.
+
+The related-work alternatives the paper discusses (FastSpMM's ELLPACK-R,
+MAGMA's SELL-P) build on ELL: every row is padded to the same width so the
+column-index and value arrays become dense ``(n_rows, width)`` matrices —
+perfectly regular accesses at the price of padding.  ELL complements the
+evaluation: it shows why format-based regularisation alone cannot deliver
+the row-reordering win (padding explodes on skewed row lengths, and ELL has
+exactly the same dense-operand reuse problem as CSR).
+
+Padding entries carry column id ``-1`` and value ``0.0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.sparse.csr import CSRMatrix
+from repro.util.validation import check_dense
+
+__all__ = ["ELLMatrix"]
+
+_PAD = np.int64(-1)
+
+
+@dataclass(frozen=True)
+class ELLMatrix:
+    """A sparse matrix in ELLPACK layout.
+
+    Attributes
+    ----------
+    shape:
+        ``(n_rows, n_cols)``.
+    colidx:
+        ``(n_rows, width)`` int64; padding slots hold ``-1`` and must sit
+        *after* the row's real entries (each row left-packed, sorted).
+    values:
+        ``(n_rows, width)`` float64; padding slots hold 0.0.
+    """
+
+    shape: tuple[int, int]
+    colidx: np.ndarray
+    values: np.ndarray
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix, *, max_width: int | None = None) -> "ELLMatrix":
+        """Convert canonical CSR to ELL.
+
+        Raises :class:`FormatError` when the longest row exceeds
+        ``max_width`` (the classic ELL failure mode on power-law inputs —
+        surfacing it is the point).
+        """
+        lengths = csr.row_lengths()
+        width = int(lengths.max()) if lengths.size else 0
+        if max_width is not None and width > max_width:
+            raise FormatError(
+                f"row of length {width} exceeds max_width={max_width}; "
+                "ELL padding would explode (use CSR/ASpT instead)"
+            )
+        m = csr.n_rows
+        colidx = np.full((m, max(width, 1)), _PAD, dtype=np.int64)
+        values = np.zeros((m, max(width, 1)), dtype=np.float64)
+        if csr.nnz:
+            rows = csr.row_ids()
+            # Position of each nnz within its row.
+            slots = np.arange(csr.nnz, dtype=np.int64) - csr.rowptr[:-1][rows]
+            colidx[rows, slots] = csr.colidx
+            values[rows, slots] = csr.values
+        return cls((m, csr.n_cols), colidx, values)
+
+    def validate(self) -> None:
+        """Check layout invariants."""
+        m, n = self.shape
+        if self.colidx.shape != self.values.shape or self.colidx.ndim != 2:
+            raise FormatError("colidx and values must be equal-shape 2-D arrays")
+        if self.colidx.shape[0] != m:
+            raise FormatError(f"expected {m} rows, got {self.colidx.shape[0]}")
+        real = self.colidx >= 0
+        if real.any() and int(self.colidx[real].max()) >= n:
+            raise FormatError(f"column index out of range for {n} columns")
+        # Left-packing: once a row hits padding it stays padding.
+        padded_then_real = (~real[:, :-1]) & real[:, 1:]
+        if padded_then_real.any():
+            raise FormatError("rows must be left-packed (padding only at the end)")
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Entries stored per row (including padding)."""
+        return int(self.colidx.shape[1])
+
+    @property
+    def nnz(self) -> int:
+        """Real (non-padding) stored entries."""
+        return int((self.colidx >= 0).sum())
+
+    @property
+    def padding_ratio(self) -> float:
+        """Fraction of storage wasted on padding."""
+        total = self.colidx.size
+        return 1.0 - self.nnz / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    def to_csr(self) -> CSRMatrix:
+        """Convert back to canonical CSR (drops padding)."""
+        real = self.colidx >= 0
+        rows, slots = np.nonzero(real)
+        counts = np.bincount(rows, minlength=self.shape[0])
+        rowptr = np.zeros(self.shape[0] + 1, dtype=np.int64)
+        np.cumsum(counts, out=rowptr[1:])
+        return CSRMatrix.from_arrays(
+            self.shape, rowptr, self.colidx[rows, slots], self.values[rows, slots]
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as dense float64."""
+        out = np.zeros(self.shape, dtype=np.float64)
+        real = self.colidx >= 0
+        rows, slots = np.nonzero(real)
+        out[rows, self.colidx[rows, slots]] = self.values[rows, slots]
+        return out
+
+    def spmm(self, X: np.ndarray) -> np.ndarray:
+        """ELL SpMM: one fully regular gather per slot column.
+
+        ``Y[i] = sum_s values[i, s] * X[colidx[i, s]]`` with padding slots
+        contributing zero (their value is 0 and their gather index is
+        clamped to 0).
+        """
+        X = check_dense("X", X, rows=self.shape[1])
+        safe_cols = np.maximum(self.colidx, 0)
+        # (m, width, k) contraction, slot by slot to bound scratch memory.
+        out = np.zeros((self.shape[0], X.shape[1]), dtype=np.float64)
+        for s in range(self.width):
+            out += self.values[:, s : s + 1] * X[safe_cols[:, s]]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ELLMatrix(shape={self.shape}, width={self.width}, "
+            f"padding={self.padding_ratio:.1%})"
+        )

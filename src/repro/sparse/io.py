@@ -1,0 +1,138 @@
+"""MatrixMarket I/O.
+
+The paper's corpus comes from SuiteSparse and the Network Repository, both
+of which distribute matrices in MatrixMarket (``.mtx``) coordinate format.
+This module implements a reader/writer for the subset of the format those
+collections use — ``matrix coordinate {real,integer,pattern}
+{general,symmetric,skew-symmetric}`` — so that real matrices can be dropped
+into the experiment harness when available.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_SUPPORTED_FIELDS = {"real", "integer", "pattern"}
+_SUPPORTED_SYMMETRY = {"general", "symmetric", "skew-symmetric"}
+
+
+def _open_text(path_or_file, mode: str):
+    """Return (file_object, should_close)."""
+    if hasattr(path_or_file, "read") or hasattr(path_or_file, "write"):
+        return path_or_file, False
+    return open(os.fspath(path_or_file), mode, encoding="utf-8"), True
+
+
+def read_matrix_market(path_or_file) -> CSRMatrix:
+    """Read a MatrixMarket coordinate file into canonical CSR.
+
+    Symmetric and skew-symmetric inputs are expanded to full storage (the
+    convention used by SpMM benchmarks).  Pattern matrices get unit values.
+
+    Raises
+    ------
+    FormatError
+        On a malformed header, unsupported field/symmetry, wrong entry
+        counts, or out-of-range indices.
+    """
+    fh, should_close = _open_text(path_or_file, "r")
+    try:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise FormatError("missing %%MatrixMarket header")
+        parts = header.strip().split()
+        if len(parts) < 5:
+            raise FormatError(f"malformed header: {header.strip()!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        obj, fmt = obj.lower(), fmt.lower()
+        field, symmetry = field.lower(), symmetry.lower()
+        if obj != "matrix" or fmt != "coordinate":
+            raise FormatError(
+                f"only 'matrix coordinate' files are supported, got {obj} {fmt}"
+            )
+        if field not in _SUPPORTED_FIELDS:
+            raise FormatError(f"unsupported field {field!r}")
+        if symmetry not in _SUPPORTED_SYMMETRY:
+            raise FormatError(f"unsupported symmetry {symmetry!r}")
+
+        # Skip comment lines.
+        line = fh.readline()
+        while line and line.lstrip().startswith("%"):
+            line = fh.readline()
+        if not line:
+            raise FormatError("missing size line")
+        size_parts = line.split()
+        if len(size_parts) != 3:
+            raise FormatError(f"malformed size line: {line.strip()!r}")
+        m, n, declared_nnz = (int(p) for p in size_parts)
+
+        body = fh.read()
+    finally:
+        if should_close:
+            fh.close()
+
+    if declared_nnz == 0:
+        return CSRMatrix.empty((m, n))
+
+    pattern = field == "pattern"
+    cols_per_entry = 2 if pattern else 3
+    data = np.loadtxt(
+        io.StringIO(body), dtype=np.float64, comments="%", ndmin=2
+    )
+    if data.size == 0:
+        raise FormatError(f"expected {declared_nnz} entries, found 0")
+    if data.shape[1] < cols_per_entry:
+        raise FormatError(
+            f"entries have {data.shape[1]} fields, expected >= {cols_per_entry}"
+        )
+    if data.shape[0] != declared_nnz:
+        raise FormatError(
+            f"expected {declared_nnz} entries, found {data.shape[0]}"
+        )
+    rows = data[:, 0].astype(np.int64) - 1  # MatrixMarket is 1-based
+    cols = data[:, 1].astype(np.int64) - 1
+    if rows.size and (rows.min() < 0 or rows.max() >= m or cols.min() < 0 or cols.max() >= n):
+        raise FormatError("entry index out of declared range")
+    values = (
+        np.ones(rows.size, dtype=np.float64)
+        if pattern
+        else data[:, 2].astype(np.float64)
+    )
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off_diag = rows != cols
+        mirror_sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        rows = np.concatenate([rows, cols[off_diag]])
+        cols_full = np.concatenate([cols, data[:, 0][off_diag].astype(np.int64) - 1])
+        values = np.concatenate([values, mirror_sign * values[off_diag]])
+        cols = cols_full
+
+    coo = COOMatrix.from_arrays((m, n), rows, cols, values)
+    return coo.to_csr()
+
+
+def write_matrix_market(path_or_file, csr: CSRMatrix, comment: str = "") -> None:
+    """Write canonical CSR as a general real coordinate MatrixMarket file."""
+    fh, should_close = _open_text(path_or_file, "w")
+    try:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        fh.write(f"{csr.n_rows} {csr.n_cols} {csr.nnz}\n")
+        rows = csr.row_ids() + 1
+        cols = csr.colidx + 1
+        for r, c, v in zip(rows.tolist(), cols.tolist(), csr.values.tolist()):
+            fh.write(f"{r} {c} {v!r}\n")
+    finally:
+        if should_close:
+            fh.close()

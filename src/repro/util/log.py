@@ -1,0 +1,34 @@
+"""Lightweight logging setup.
+
+A thin wrapper over :mod:`logging` so the experiment runner can emit
+progress lines without configuring the root logger (which would interfere
+with applications embedding this library).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_LOGGER_NAME = "repro"
+
+
+def get_logger(child: str | None = None) -> logging.Logger:
+    """Return the library logger, or a named child of it."""
+    name = _LOGGER_NAME if child is None else f"{_LOGGER_NAME}.{child}"
+    return logging.getLogger(name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stderr handler to the library logger (idempotent)."""
+    logger = get_logger()
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,78 @@
+"""Wall-clock timing helpers.
+
+The paper reports preprocessing time separately from (GPU) kernel time.  In
+this reproduction preprocessing is measured as real wall-clock on the host
+(it genuinely runs here), while kernel time comes from the performance model.
+:class:`Timer` is the single primitive used for the former.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "timed"]
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Can be used either as a context manager (accumulates across ``with``
+    blocks) or via explicit :meth:`start`/:meth:`stop` calls.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list = field(default_factory=list)
+    _t0: float | None = None
+
+    def start(self) -> "Timer":
+        """Begin a lap; raises if already running."""
+        if self._t0 is not None:
+            raise RuntimeError("Timer already running")
+        self._t0 = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """End the current lap and return its duration."""
+        if self._t0 is None:
+            raise RuntimeError("Timer not running")
+        lap = time.perf_counter() - self._t0
+        self._t0 = None
+        self.elapsed += lap
+        self.laps.append(lap)
+        return lap
+
+    def reset(self) -> None:
+        """Zero the accumulated time and lap history."""
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._t0 = None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@contextmanager
+def timed(sink: dict, key: str):
+    """Time a block and store the elapsed seconds into ``sink[key]``.
+
+    Accumulates when the key already exists, mirroring :class:`Timer`.
+    """
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink[key] = sink.get(key, 0.0) + (time.perf_counter() - t0)

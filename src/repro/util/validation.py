@@ -1,0 +1,135 @@
+"""Argument-validation helpers.
+
+All public entry points of the library validate their inputs with these
+helpers so that error messages are uniform and informative.  They raise
+:class:`repro.errors.ValidationError` (a ``ValueError`` subclass) on bad
+input and return the validated (possibly converted) value on success, which
+lets callers write ``n = check_positive("n", n)``.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from repro.errors import ShapeError, ValidationError
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_integer_array",
+    "check_dense",
+    "check_permutation",
+]
+
+
+def check_positive(name: str, value, *, integer: bool = True):
+    """Validate that ``value`` is a (strictly) positive scalar.
+
+    Parameters
+    ----------
+    name:
+        Parameter name used in the error message.
+    value:
+        The value to validate.
+    integer:
+        When true (default) the value must also be an integral number and is
+        returned as a built-in ``int``.
+    """
+    if integer:
+        if not isinstance(value, numbers.Integral):
+            raise ValidationError(f"{name} must be an integer, got {value!r}")
+        value = int(value)
+    else:
+        if not isinstance(value, numbers.Real):
+            raise ValidationError(f"{name} must be a real number, got {value!r}")
+        value = float(value)
+    if value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value, *, integer: bool = True):
+    """Validate that ``value`` is a scalar >= 0 (see :func:`check_positive`)."""
+    if integer:
+        if not isinstance(value, numbers.Integral):
+            raise ValidationError(f"{name} must be an integer, got {value!r}")
+        value = int(value)
+    else:
+        if not isinstance(value, numbers.Real):
+            raise ValidationError(f"{name} must be a real number, got {value!r}")
+        value = float(value)
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value, low, high, *, inclusive: bool = True) -> float:
+    """Validate ``low <= value <= high`` (or strict when ``inclusive=False``)."""
+    if not isinstance(value, numbers.Real):
+        raise ValidationError(f"{name} must be a real number, got {value!r}")
+    value = float(value)
+    ok = (low <= value <= high) if inclusive else (low < value < high)
+    if not ok:
+        op = "<=" if inclusive else "<"
+        raise ValidationError(
+            f"{name} must satisfy {low} {op} {name} {op} {high}, got {value!r}"
+        )
+    return value
+
+
+def check_integer_array(name: str, arr, *, min_value=None, max_value=None) -> np.ndarray:
+    """Validate and convert ``arr`` to a 1-D ``int64`` NumPy array.
+
+    Optionally enforces elementwise bounds.  Float inputs are rejected (a
+    silent truncation of column indices would be a data-corruption bug, not a
+    convenience).
+    """
+    arr = np.asarray(arr)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ValidationError(f"{name} must have an integer dtype, got {arr.dtype}")
+    arr = arr.astype(np.int64, copy=False)
+    if arr.size:
+        if min_value is not None and arr.min() < min_value:
+            raise ValidationError(
+                f"{name} has entries < {min_value} (min is {arr.min()})"
+            )
+        if max_value is not None and arr.max() > max_value:
+            raise ValidationError(
+                f"{name} has entries > {max_value} (max is {arr.max()})"
+            )
+    return arr
+
+
+def check_dense(name: str, mat, *, rows=None, cols=None, dtype=np.float64) -> np.ndarray:
+    """Validate a 2-D dense operand, optionally pinning its shape.
+
+    Returns a C-contiguous array of ``dtype`` (copying only when necessary;
+    views are preserved whenever the input already satisfies the contract,
+    per the "use views, not copies" guideline).
+    """
+    mat = np.asarray(mat)
+    if mat.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got shape {mat.shape}")
+    if rows is not None and mat.shape[0] != rows:
+        raise ShapeError(f"{name} must have {rows} rows, got {mat.shape[0]}")
+    if cols is not None and mat.shape[1] != cols:
+        raise ShapeError(f"{name} must have {cols} columns, got {mat.shape[1]}")
+    return np.ascontiguousarray(mat, dtype=dtype)
+
+
+def check_permutation(name: str, perm, n: int) -> np.ndarray:
+    """Validate that ``perm`` is a permutation of ``range(n)``."""
+    perm = check_integer_array(name, perm, min_value=0, max_value=max(n - 1, 0))
+    if perm.size != n:
+        raise ValidationError(f"{name} must have length {n}, got {perm.size}")
+    seen = np.zeros(n, dtype=bool)
+    seen[perm] = True
+    if not seen.all():
+        missing = int(np.flatnonzero(~seen)[0])
+        raise ValidationError(f"{name} is not a permutation: index {missing} missing")
+    return perm

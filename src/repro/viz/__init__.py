@@ -1,0 +1,37 @@
+"""Dependency-free SVG renderers for the paper figures.
+
+The experiment harness emits raw data series; this package turns them into
+publication-ready SVG files without any plotting library.  The visual
+system follows a validated reference palette and fixed mark specification
+(2 px lines, >= 8 px markers with a 2 px surface ring, hairline gridlines,
+legend for two or more series, clean-number ticks, one axis per chart);
+categorical colors are assigned to *entities* (kernel variants) in a fixed
+order so the same variant wears the same hue in every figure.
+
+Entry points: :func:`svg_scatter`, :func:`svg_lines`, :func:`svg_bars`,
+plus ``repro figure N --svg out.svg`` on the CLI.
+"""
+
+from repro.viz.figures import figure_svg
+from repro.viz.svg import (
+    PALETTE,
+    PALETTE_DARK,
+    SvgCanvas,
+    get_palette,
+    nice_ticks,
+    svg_bars,
+    svg_lines,
+    svg_scatter,
+)
+
+__all__ = [
+    "figure_svg",
+    "PALETTE",
+    "PALETTE_DARK",
+    "get_palette",
+    "SvgCanvas",
+    "nice_ticks",
+    "svg_bars",
+    "svg_lines",
+    "svg_scatter",
+]

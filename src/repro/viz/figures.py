@@ -1,0 +1,102 @@
+"""Map the experiment figure dicts onto the SVG chart forms.
+
+Each ``repro.experiments.figures.figN_*`` result carries raw series; this
+module picks the right chart form per figure (bars for band histograms,
+scatter for the effectiveness plane, lines for throughput curves) and keeps
+entity->color assignments consistent across figures (cuSPARSE always slot
+1, ASpT-NR slot 2, ASpT-RR slot 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.viz.svg import svg_bars, svg_lines, svg_scatter
+
+__all__ = ["figure_svg"]
+
+
+def _fig8(data: dict, mode: str) -> str:
+    labels = list(data["bands_nr"].keys())
+    return svg_bars(
+        labels,
+        {
+            "ASpT-NR": np.array(list(data["bands_nr"].values())),
+            "ASpT-RR": np.array(list(data["bands_rr"].values())),
+        },
+        title=f"Fig 8 — SpMM speedup over cuSPARSE (K={data['k']})",
+        y_label="% of matrices",
+        mode=mode,
+    )
+
+
+def _fig9(data: dict, mode: str) -> str:
+    speedup = np.asarray(data["speedup"], dtype=np.float64)
+    classes = ["speedup" if s >= 1.0 else "slowdown" for s in speedup]
+    return svg_scatter(
+        np.asarray(data["delta_dense_ratio"]),
+        np.asarray(data["delta_avg_sim"]),
+        classes,
+        title=f"Fig 9 — effectiveness plane (K={data['k']})",
+        x_label="Δ dense-tile ratio",
+        y_label="Δ avg consecutive similarity",
+        mode=mode,
+    )
+
+
+def _fig10(data: dict, mode: str) -> str:
+    series = {
+        {"cusparse": "cuSPARSE", "nr(aspt)": "ASpT-NR", "rr(aspt)": "ASpT-RR"}.get(k, k):
+        np.asarray(v) for k, v in data["series"].items()
+    }
+    return svg_lines(
+        series,
+        title=f"Fig 10 — SpMM throughput, sorted by ASpT-NR (K={data['k']})",
+        x_label="matrix (sorted)",
+        y_label="GFLOP/s",
+        mode=mode,
+    )
+
+
+def _fig11(data: dict, mode: str) -> str:
+    series = {
+        {"nr(aspt)": "ASpT-NR", "rr(aspt)": "ASpT-RR"}.get(k, k): np.asarray(v)
+        for k, v in data["series"].items()
+    }
+    return svg_lines(
+        series,
+        title=f"Fig 11 — SDDMM throughput, sorted by ASpT-NR (K={data['k']})",
+        x_label="matrix (sorted)",
+        y_label="GFLOP/s",
+        mode=mode,
+    )
+
+
+def _fig12(data: dict, mode: str) -> str:
+    return svg_lines(
+        {"preprocessing": np.asarray(data["times_s"])},
+        title="Fig 12 — preprocessing time per matrix (sorted)",
+        x_label="matrix (sorted)",
+        y_label="seconds",
+        log_y=True,
+        mode=mode,
+    )
+
+
+_RENDERERS = {8: _fig8, 9: _fig9, 10: _fig10, 11: _fig11, 12: _fig12}
+
+
+def figure_svg(number: int, data: dict, *, mode: str = "light") -> str:
+    """Render figure ``number``'s data dict as an SVG document string.
+
+    ``mode`` selects the light or dark palette (both validated instances;
+    dark is its own stepped set, not a flipped light palette).
+    """
+    try:
+        renderer = _RENDERERS[number]
+    except KeyError:
+        raise ValidationError(
+            f"no SVG renderer for figure {number}; available: {sorted(_RENDERERS)}"
+        ) from None
+    return renderer(data, mode)

@@ -1,0 +1,401 @@
+"""SVG chart primitives and the three chart forms the figures need.
+
+Visual contract (fixed; see the package docstring):
+
+* **Palette** — the validated reference categorical palette, slots assigned
+  to entities in fixed order (never cycled past slot 8; callers with more
+  series must fold into "other").  Marks carry the series color; all text
+  wears text tokens (primary/secondary), never a series hue.
+* **Marks** — lines 2 px with round joins; markers r >= 4 with a 2 px
+  surface-colored ring; bars <= 24 px with a 2 px surface gap.
+* **Axes** — one y-axis, hairline solid gridlines one step off the
+  surface, clean-number ticks (:func:`nice_ticks`).
+* **Identity** — a legend whenever two or more series are drawn; scatter
+  classes additionally differ in marker *shape* so identity survives
+  grayscale and CVD.
+* **Hover** — every mark ships a native SVG ``<title>`` tooltip.
+* **Relief rule** — three palette slots (aqua/yellow/magenta) sit below
+  3:1 contrast on the light surface; every figure therefore ships with a
+  sibling table view (the ``text`` field of the same figure dict, and the
+  ``--json`` export) plus end markers and tooltips, so no value is gated
+  behind those hues.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+__all__ = ["PALETTE", "PALETTE_DARK", "get_palette", "SvgCanvas", "nice_ticks", "svg_scatter", "svg_lines", "svg_bars"]
+
+#: Validated reference palette (light mode).  Categorical slots are in the
+#: CVD-optimised fixed order; ``surface``/``grid``/text tokens complete the
+#: system.  Swap these values to rebrand; the chart code reads roles only.
+PALETTE = {
+    "series": [
+        "#2a78d6",  # 1 blue
+        "#1baf7a",  # 2 aqua
+        "#eda100",  # 3 yellow
+        "#008300",  # 4 green
+        "#4a3aa7",  # 5 violet
+        "#e34948",  # 6 red
+        "#e87ba4",  # 7 magenta
+        "#eb6834",  # 8 orange
+    ],
+    "surface": "#fcfcfb",
+    "grid": "#e9e7e2",
+    "text_primary": "#0b0b0b",
+    "text_secondary": "#52514e",
+}
+
+#: Dark-mode palette: the same eight hues *re-stepped for the dark
+#: surface* (selected, per the method — never an automatic flip of the
+#: light values).
+PALETTE_DARK = {
+    "series": [
+        "#3987e5",  # 1 blue
+        "#199e70",  # 2 aqua
+        "#c98500",  # 3 yellow
+        "#008300",  # 4 green
+        "#9085e9",  # 5 violet
+        "#e66767",  # 6 red
+        "#d55181",  # 7 magenta
+        "#d95926",  # 8 orange
+    ],
+    "surface": "#1a1a19",
+    "grid": "#32312f",
+    "text_primary": "#ffffff",
+    "text_secondary": "#c3c2b7",
+}
+
+
+def get_palette(mode: str = "light") -> dict:
+    """Role palette for ``mode`` ("light" or "dark")."""
+    if mode == "light":
+        return PALETTE
+    if mode == "dark":
+        return PALETTE_DARK
+    raise ValueError(f"mode must be 'light' or 'dark', got {mode!r}")
+
+_FONT = "font-family='Helvetica,Arial,sans-serif'"
+
+
+def nice_ticks(lo: float, hi: float, target: int = 5) -> list[float]:
+    """Clean-number tick positions covering ``[lo, hi]``.
+
+    Classic 1/2/5 ladder: the step is the member of
+    ``{1, 2, 5} * 10^k`` whose count lands nearest ``target``.
+    """
+    if not math.isfinite(lo) or not math.isfinite(hi):
+        return [0.0]
+    if hi < lo:
+        lo, hi = hi, lo
+    if hi == lo:
+        hi = lo + 1.0
+    raw_step = (hi - lo) / max(target, 1)
+    power = 10.0 ** math.floor(math.log10(raw_step))
+    step = min((m * power for m in (1.0, 2.0, 5.0, 10.0)),
+               key=lambda s: abs((hi - lo) / s - target))
+    start = math.floor(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step * 1e-9:
+        if t >= lo - step * 1e-9:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks or [lo]
+
+
+def _fmt(v: float) -> str:
+    """Tick label formatting: thousands commas, trim trailing zeros."""
+    if abs(v) >= 1000 and float(v).is_integer():
+        return f"{int(v):,}"
+    if float(v).is_integer():
+        return str(int(v))
+    return f"{v:.4g}"
+
+
+@dataclass
+class SvgCanvas:
+    """Minimal SVG document builder (primitives only, no layout logic)."""
+
+    width: int
+    height: int
+    elements: list = field(default_factory=list)
+    palette: dict = field(default_factory=lambda: PALETTE)
+
+    def rect(self, x, y, w, h, fill, rx=0.0, title=None) -> None:
+        """Axis-aligned rectangle (bars, swatches, background)."""
+        t = f"<title>{escape(title)}</title>" if title else ""
+        self.elements.append(
+            f"<rect x='{x:.2f}' y='{y:.2f}' width='{w:.2f}' height='{h:.2f}'"
+            f" rx='{rx:.2f}' fill='{fill}'>{t}</rect>"
+            if t else
+            f"<rect x='{x:.2f}' y='{y:.2f}' width='{w:.2f}' height='{h:.2f}'"
+            f" rx='{rx:.2f}' fill='{fill}'/>"
+        )
+
+    def line(self, x1, y1, x2, y2, stroke, width=1.0) -> None:
+        """Straight segment (gridlines, leader lines)."""
+        self.elements.append(
+            f"<line x1='{x1:.2f}' y1='{y1:.2f}' x2='{x2:.2f}' y2='{y2:.2f}'"
+            f" stroke='{stroke}' stroke-width='{width}'/>"
+        )
+
+    def polyline(self, points, stroke, width=2.0) -> None:
+        """Open path with round joins (the 2 px series line)."""
+        pts = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self.elements.append(
+            f"<polyline points='{pts}' fill='none' stroke='{stroke}'"
+            f" stroke-width='{width}' stroke-linejoin='round'"
+            f" stroke-linecap='round'/>"
+        )
+
+    def circle(self, cx, cy, r, fill, ring=None, title=None) -> None:
+        """Marker dot; ``ring`` draws the 2 px surface ring."""
+        stroke = f" stroke='{ring}' stroke-width='2'" if ring else ""
+        t = f"<title>{escape(title)}</title>" if title else ""
+        body = f"<circle cx='{cx:.2f}' cy='{cy:.2f}' r='{r:.2f}' fill='{fill}'{stroke}>"
+        self.elements.append(f"{body}{t}</circle>" if t else body[:-1] + "/>")
+
+    def diamond(self, cx, cy, r, fill, ring=None, title=None) -> None:
+        """Diamond marker (secondary shape encoding for scatter classes)."""
+        pts = f"{cx:.2f},{cy - r:.2f} {cx + r:.2f},{cy:.2f} {cx:.2f},{cy + r:.2f} {cx - r:.2f},{cy:.2f}"
+        stroke = f" stroke='{ring}' stroke-width='2'" if ring else ""
+        t = f"<title>{escape(title)}</title>" if title else ""
+        body = f"<polygon points='{pts}' fill='{fill}'{stroke}>"
+        self.elements.append(f"{body}{t}</polygon>" if t else body[:-1] + "/>")
+
+    def text(self, x, y, content, size=11, fill=None, anchor="start", weight="normal") -> None:
+        """Text in a text token (never a series hue)."""
+        fill = fill or self.palette["text_secondary"]
+        self.elements.append(
+            f"<text x='{x:.2f}' y='{y:.2f}' font-size='{size}' {_FONT}"
+            f" fill='{fill}' text-anchor='{anchor}'"
+            f" font-weight='{weight}'>{escape(str(content))}</text>"
+        )
+
+    def to_string(self) -> str:
+        """Serialise the document."""
+        body = "\n".join(self.elements)
+        return (
+            f"<svg xmlns='http://www.w3.org/2000/svg' width='{self.width}'"
+            f" height='{self.height}' viewBox='0 0 {self.width} {self.height}'>\n"
+            f"<rect width='{self.width}' height='{self.height}'"
+            f" fill='{self.palette['surface']}'/>\n{body}\n</svg>\n"
+        )
+
+    def save(self, path) -> None:
+        """Write the document to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_string())
+
+
+@dataclass
+class _Frame:
+    """Plot frame: margins, scales, axes and gridlines."""
+
+    canvas: SvgCanvas
+    x_lo: float
+    x_hi: float
+    y_lo: float
+    y_hi: float
+    left: int = 64
+    right: int = 16
+    top: int = 40
+    bottom: int = 44
+
+    def sx(self, x: float) -> float:
+        """Data x -> pixel x."""
+        span = (self.x_hi - self.x_lo) or 1.0
+        return self.left + (x - self.x_lo) / span * (self.canvas.width - self.left - self.right)
+
+    def sy(self, y: float) -> float:
+        """Data y -> pixel y (inverted)."""
+        span = (self.y_hi - self.y_lo) or 1.0
+        return self.canvas.height - self.bottom - (y - self.y_lo) / span * (
+            self.canvas.height - self.top - self.bottom
+        )
+
+    def draw_axes(self, title: str, x_label: str, y_label: str) -> None:
+        """Title, hairline gridlines at clean ticks, tick labels."""
+        c = self.canvas
+        pal = c.palette
+        c.text(self.left, 20, title, size=13, fill=pal["text_primary"], weight="bold")
+        for t in nice_ticks(self.y_lo, self.y_hi):
+            y = self.sy(t)
+            c.line(self.left, y, c.width - self.right, y, pal["grid"], 1.0)
+            c.text(self.left - 6, y + 3.5, _fmt(t), size=10, anchor="end")
+        for t in nice_ticks(self.x_lo, self.x_hi):
+            x = self.sx(t)
+            c.text(x, c.height - self.bottom + 16, _fmt(t), size=10, anchor="middle")
+        c.line(self.left, self.sy(self.y_lo), c.width - self.right,
+               self.sy(self.y_lo), pal["grid"], 1.0)
+        c.text((self.left + c.width - self.right) / 2, c.height - 8, x_label,
+               size=11, anchor="middle")
+        c.text(12, self.top - 10, y_label, size=11)
+
+    def legend(self, entries: list[tuple[str, str]]) -> None:
+        """Swatch + label row at the top right (for >= 2 series)."""
+        c = self.canvas
+        x = c.width - self.right
+        for name, color in reversed(entries):
+            w = 7 * len(name) + 22
+            x -= w
+            c.rect(x, 12, 10, 10, color, rx=2)
+            c.text(x + 14, 21, name, size=10)
+
+
+def svg_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    classes: list[str],
+    *,
+    title: str,
+    x_label: str,
+    y_label: str,
+    width: int = 640,
+    height: int = 420,
+    mode: str = "light",
+) -> str:
+    """Scatter with categorical classes (color + marker shape + legend).
+
+    ``classes[i]`` names point ``i``'s class; the first-seen class order
+    assigns palette slots and alternating circle/diamond shapes.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    pal = get_palette(mode)
+    canvas = SvgCanvas(width, height, palette=pal)
+    if x.size == 0:
+        canvas.text(width / 2, height / 2, "(no data)", anchor="middle")
+        return canvas.to_string()
+    pad = lambda lo, hi: ((lo - (hi - lo or 1.0) * 0.06), (hi + (hi - lo or 1.0) * 0.06))
+    x_lo, x_hi = pad(float(x.min()), float(x.max()))
+    y_lo, y_hi = pad(float(y.min()), float(y.max()))
+    frame = _Frame(canvas, x_lo, x_hi, y_lo, y_hi)
+    frame.draw_axes(title, x_label, y_label)
+
+    order: list[str] = []
+    for cls in classes:
+        if cls not in order:
+            order.append(cls)
+    colors = {cls: pal["series"][i % 8] for i, cls in enumerate(order)}
+    shapes = {cls: ("circle" if i % 2 == 0 else "diamond") for i, cls in enumerate(order)}
+    for i in range(x.size):
+        cls = classes[i]
+        draw = canvas.circle if shapes[cls] == "circle" else canvas.diamond
+        draw(
+            frame.sx(x[i]), frame.sy(y[i]), 4.5, colors[cls],
+            ring=pal["surface"],
+            title=f"{cls}: ({x[i]:.3g}, {y[i]:.3g})",
+        )
+    if len(order) >= 2:
+        frame.legend([(cls, colors[cls]) for cls in order])
+    return canvas.to_string()
+
+
+def svg_lines(
+    series: dict[str, np.ndarray],
+    *,
+    title: str,
+    x_label: str,
+    y_label: str,
+    width: int = 720,
+    height: int = 420,
+    log_y: bool = False,
+    mode: str = "light",
+) -> str:
+    """Overlaid line series (2 px lines, end markers, legend, one y-axis).
+
+    Series colors follow insertion order of ``series`` — callers assign
+    entities to slots consistently across figures.
+    """
+    pal = get_palette(mode)
+    canvas = SvgCanvas(width, height, palette=pal)
+    series = {k: np.asarray(v, dtype=np.float64) for k, v in series.items()}
+    series = {k: v for k, v in series.items() if v.size}
+    if not series:
+        canvas.text(width / 2, height / 2, "(no data)", anchor="middle")
+        return canvas.to_string()
+    plot = {
+        k: (np.log10(np.maximum(v, 1e-300)) if log_y else v)
+        for k, v in series.items()
+    }
+    all_y = np.concatenate(list(plot.values()))
+    n = max(v.size for v in plot.values())
+    frame = _Frame(canvas, 0.0, float(max(n - 1, 1)), float(all_y.min()), float(all_y.max()))
+    frame.draw_axes(title + (" (log10 y)" if log_y else ""), x_label, y_label)
+
+    entries = []
+    for idx, (name, v) in enumerate(plot.items()):
+        color = pal["series"][idx % 8]
+        pts = [(frame.sx(i), frame.sy(float(v[i]))) for i in range(v.size)]
+        canvas.polyline(pts, color, 2.0)
+        end_x, end_y = pts[-1]
+        raw = series[name][-1]
+        canvas.circle(end_x, end_y, 4.0, color, ring=pal["surface"],
+                      title=f"{name}: {raw:.4g}")
+        entries.append((name, color))
+    if len(entries) >= 2:
+        frame.legend(entries)
+    return canvas.to_string()
+
+
+def svg_bars(
+    labels: list[str],
+    groups: dict[str, np.ndarray],
+    *,
+    title: str,
+    y_label: str,
+    width: int = 720,
+    height: int = 420,
+    mode: str = "light",
+) -> str:
+    """Grouped columns (<= 24 px, 4 px rounded caps, 2 px surface gaps).
+
+    ``labels`` name the x categories; each entry of ``groups`` is one
+    series of per-category values.
+    """
+    pal = get_palette(mode)
+    canvas = SvgCanvas(width, height, palette=pal)
+    groups = {k: np.asarray(v, dtype=np.float64) for k, v in groups.items()}
+    if not labels or not groups:
+        canvas.text(width / 2, height / 2, "(no data)", anchor="middle")
+        return canvas.to_string()
+    all_v = np.concatenate(list(groups.values()))
+    frame = _Frame(canvas, 0.0, float(len(labels)), 0.0, float(all_v.max() or 1.0),
+                   bottom=64)
+    # Axes without numeric x ticks (categorical axis).
+    c = canvas
+    c.text(frame.left, 20, title, size=13, fill=pal["text_primary"], weight="bold")
+    for t in nice_ticks(0.0, float(all_v.max() or 1.0)):
+        yy = frame.sy(t)
+        c.line(frame.left, yy, width - frame.right, yy, pal["grid"], 1.0)
+        c.text(frame.left - 6, yy + 3.5, _fmt(t), size=10, anchor="end")
+    c.text(12, frame.top - 10, y_label, size=11)
+
+    n_groups = len(groups)
+    slot_w = (width - frame.left - frame.right) / len(labels)
+    bar_w = min(24.0, (slot_w - 8.0 - 2.0 * (n_groups - 1)) / n_groups)
+    base_y = frame.sy(0.0)
+    for li, label in enumerate(labels):
+        x0 = frame.left + li * slot_w + (slot_w - (bar_w * n_groups + 2.0 * (n_groups - 1))) / 2
+        for gi, (gname, values) in enumerate(groups.items()):
+            v = float(values[li]) if li < values.size else 0.0
+            top_y = frame.sy(v)
+            h = max(base_y - top_y, 0.0)
+            canvas.rect(
+                x0 + gi * (bar_w + 2.0), top_y, bar_w, h,
+                pal["series"][gi % 8], rx=min(4.0, bar_w / 2),
+                title=f"{gname} — {label}: {v:.4g}",
+            )
+        c.text(frame.left + (li + 0.5) * slot_w, height - frame.bottom + 16,
+               label if len(label) <= 14 else label[:13] + "…",
+               size=9, anchor="middle")
+    if n_groups >= 2:
+        frame.legend([(g, pal["series"][i % 8]) for i, g in enumerate(groups)])
+    return canvas.to_string()

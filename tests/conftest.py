@@ -1,0 +1,71 @@
+"""Shared fixtures.
+
+``paper_matrix`` is a concrete reconstruction of the paper's running example
+(Fig. 1a).  The paper never prints the full matrix, but it states enough
+facts to pin one down:
+
+* 6x6, 13 non-zeros;
+* S0 = {0, 4} and S4 = {0, 3, 4} with J(S0, S4) = 2/3;
+* J(S2, S4) = 1/4;
+* row 1 shares exactly one column with row 5;
+* in the first row panel (rows 0-2, panel height 3) only column 4 has two
+  non-zeros, every other column has one — so the ASpT dense tile holds
+  2 of the 13 non-zeros;
+* in the second row panel every column has at most one non-zero;
+* after exchanging rows 1 and 4, the dense tiles hold 9 non-zeros and the
+  first (densest) column of the first panel has 3 non-zeros;
+* in the remaining sparse part, rows 1&4 share a column and rows 2&5 share
+  a column.
+
+The support sets below satisfy every one of those constraints:
+
+    S0 = {0, 4}    S1 = {1, 3, 5}    S2 = {2, 4}
+    S3 = {1}       S4 = {0, 3, 4}    S5 = {2, 5}
+"""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix, CSRMatrix
+
+PAPER_SUPPORTS = {
+    0: [0, 4],
+    1: [1, 3, 5],
+    2: [2, 4],
+    3: [1],
+    4: [0, 3, 4],
+    5: [2, 5],
+}
+
+
+def _paper_csr() -> CSRMatrix:
+    rows, cols = [], []
+    for r, support in PAPER_SUPPORTS.items():
+        for c in support:
+            rows.append(r)
+            cols.append(c)
+    values = np.arange(1, len(rows) + 1, dtype=np.float64)
+    return COOMatrix.from_arrays(
+        (6, 6), np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64), values
+    ).to_csr()
+
+
+@pytest.fixture
+def paper_matrix() -> CSRMatrix:
+    """The reconstructed Fig. 1a matrix (6x6, 13 nnz)."""
+    return _paper_csr()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+def random_csr(rng, m, n, density=0.1) -> CSRMatrix:
+    """Helper used across test modules: a random CSR with ~density fill."""
+    nnz = max(1, int(m * n * density))
+    rows = rng.integers(0, m, size=nnz)
+    cols = rng.integers(0, n, size=nnz)
+    vals = rng.normal(size=nnz)
+    return COOMatrix.from_arrays((m, n), rows, cols, vals).to_csr()

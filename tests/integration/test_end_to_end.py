@@ -1,0 +1,124 @@
+"""Cross-module integration tests: corpus -> pipeline -> kernels -> model."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_corpus, hidden_clusters, preclustered
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.tables import needing_reordering, records_at_k
+from repro.gpu import GPUExecutor
+from repro.kernels import sddmm, spmm
+from repro.reorder import ReorderConfig, autotune, build_plan
+from repro.sparse import read_matrix_market, write_matrix_market
+
+
+class TestFunctionalEquivalenceAcrossCorpus:
+    def test_plans_compute_exact_products(self, rng):
+        entries = build_corpus("tiny", repeats=1)
+        config = ReorderConfig(siglen=32, panel_height=8)
+        # Sample one matrix per category to bound runtime.
+        seen = set()
+        for entry in entries:
+            if entry.category in seen:
+                continue
+            seen.add(entry.category)
+            plan = build_plan(entry.matrix, config)
+            X = rng.normal(size=(entry.matrix.n_cols, 4))
+            np.testing.assert_allclose(
+                plan.spmm(X), spmm(entry.matrix, X), rtol=1e-9, atol=1e-8,
+                err_msg=f"plan SpMM mismatch on {entry.name}",
+            )
+            Y = rng.normal(size=(entry.matrix.n_rows, 4))
+            got = plan.sddmm(X, Y)
+            want = sddmm(entry.matrix, X, Y)
+            assert got.same_pattern(want), entry.name
+            np.testing.assert_allclose(got.values, want.values, rtol=1e-9, atol=1e-8)
+
+
+class TestReorderingBehaviouralContracts:
+    def test_hidden_clusters_beat_nr(self):
+        """The motivating scenario must show a real modelled win."""
+        m = hidden_clusters(120, 8, 2048, 20, noise=0.05, seed=7)
+        cfg = ExperimentConfig(ks=(512,), scale="small", repeats=1)
+        device, cost = cfg.effective_model()
+        executor = GPUExecutor(device, cost)
+        result = autotune(m, 512, executor=executor, config=cfg.reorder)
+        assert result.use_reordering
+        assert result.speedup > 1.2
+
+    def test_preclustered_is_not_damaged(self):
+        """Fig. 7a contract: gates skip, RR == NR exactly."""
+        m = preclustered(120, 8, 2048, 20, noise=0.05, seed=7)
+        cfg = ExperimentConfig(ks=(512,), scale="small", repeats=1)
+        plan = build_plan(m, cfg.reorder)
+        assert not plan.stats.round1_applied
+        # Either round 2 was skipped too, or it found nothing to change.
+        if plan.stats.round2_applied:
+            assert plan.stats.delta_avg_sim >= -1e-9
+
+    def test_autotune_never_chooses_slower(self):
+        for seed in range(3):
+            m = hidden_clusters(60, 6, 1024, 12, noise=0.2, seed=seed)
+            result = autotune(m, 512, config=ReorderConfig(siglen=32, panel_height=8))
+            chosen = min(result.cost_reordered.time_s, result.cost_plain.time_s)
+            actual = (
+                result.cost_reordered.time_s
+                if result.use_reordering
+                else result.cost_plain.time_s
+            )
+            assert actual == pytest.approx(chosen)
+
+
+class TestExperimentShapeContracts:
+    """The qualitative claims of the paper's evaluation, as assertions."""
+
+    @pytest.fixture(scope="class")
+    def records(self):
+        cfg = ExperimentConfig(ks=(512,), scale="small", repeats=1)
+        return run_experiment(cfg)
+
+    def test_hidden_clusters_show_large_speedups(self, records):
+        recs = [r for r in records_at_k(records, 512) if r.category == "hidden"]
+        assert recs
+        speedups = [r.spmm_rr_speedup_vs_best for r in recs]
+        assert max(speedups) > 1.5
+        assert min(speedups) > 1.0
+
+    def test_sddmm_speedups_track_spmm(self, records):
+        recs = [r for r in records_at_k(records, 512) if r.category == "hidden"]
+        for r in recs:
+            assert r.sddmm_rr_speedup > 1.0
+
+    def test_diagonal_unchanged(self, records):
+        recs = [r for r in records_at_k(records, 512) if r.category == "diagonal"]
+        for r in recs:
+            assert r.spmm_aspt_rr_s == pytest.approx(r.spmm_aspt_nr_s)
+
+    def test_gated_slowdowns_are_bounded(self, records):
+        # Paper Table 1: at most ~1% of gated matrices show slowdown, and
+        # none beyond 10%.  Our corpus tolerates slightly more mass but
+        # the bound must hold.
+        subset = needing_reordering(records_at_k(records, 512))
+        worst = min(r.spmm_rr_speedup_vs_best for r in subset)
+        assert worst > 0.90
+
+    def test_geomean_in_paper_ballpark(self, records):
+        from repro.experiments.tables import summary_stats
+
+        subset = needing_reordering(records_at_k(records, 512))
+        stats = summary_stats(subset, "spmm_vs_best")
+        # Paper: 1.17x; require the same "modest but real" band.
+        assert 1.05 < stats["geomean"] < 1.6
+        assert stats["max"] > 1.8
+
+
+class TestMatrixMarketIntegration:
+    def test_reorder_roundtrip_through_files(self, tmp_path, rng):
+        m = hidden_clusters(40, 6, 512, 10, seed=3)
+        path = tmp_path / "matrix.mtx"
+        write_matrix_market(path, m)
+        loaded = read_matrix_market(path)
+        assert loaded.allclose(m)
+        plan = build_plan(loaded, ReorderConfig(siglen=32, panel_height=8))
+        X = rng.normal(size=(512, 4))
+        np.testing.assert_allclose(plan.spmm(X), spmm(m, X), rtol=1e-9, atol=1e-8)

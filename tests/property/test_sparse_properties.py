@@ -1,0 +1,118 @@
+"""Hypothesis property tests for the sparse substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    coo_to_csr,
+    csc_to_csr,
+    csr_to_csc,
+    permute_csr_columns,
+    permute_csr_rows,
+    transpose_csr,
+)
+from repro.util.arrayops import (
+    counts_to_offsets,
+    lengths_from_offsets,
+    offsets_to_row_ids,
+    rank_of_permutation,
+)
+
+
+@st.composite
+def coo_matrices(draw, max_dim=12, max_nnz=40):
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(
+        hnp.arrays(np.int64, nnz, elements=st.integers(0, m - 1))
+    )
+    cols = draw(
+        hnp.arrays(np.int64, nnz, elements=st.integers(0, n - 1))
+    )
+    values = draw(
+        hnp.arrays(
+            np.float64,
+            nnz,
+            elements=st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+        )
+    )
+    return COOMatrix.from_arrays((m, n), rows, cols, values)
+
+
+@st.composite
+def csr_matrices(draw, max_dim=12, max_nnz=40):
+    return draw(coo_matrices(max_dim, max_nnz)).to_csr()
+
+
+class TestArrayOps:
+    @given(hnp.arrays(np.int64, st.integers(0, 30), elements=st.integers(0, 6)))
+    def test_counts_offsets_roundtrip(self, counts):
+        offsets = counts_to_offsets(counts)
+        np.testing.assert_array_equal(lengths_from_offsets(offsets), counts)
+
+    @given(hnp.arrays(np.int64, st.integers(0, 30), elements=st.integers(0, 6)))
+    def test_offsets_to_row_ids_matches_repeat(self, counts):
+        offsets = counts_to_offsets(counts)
+        expected = np.repeat(np.arange(counts.size), counts)
+        np.testing.assert_array_equal(offsets_to_row_ids(offsets), expected)
+
+    @given(st.integers(1, 50), st.randoms())
+    def test_rank_of_permutation_is_inverse(self, n, rnd):
+        perm = np.array(rnd.sample(range(n), n), dtype=np.int64)
+        inv = rank_of_permutation(perm)
+        np.testing.assert_array_equal(perm[inv], np.arange(n))
+
+
+class TestCSRInvariants:
+    @given(coo_matrices())
+    @settings(max_examples=60)
+    def test_coo_to_csr_preserves_dense(self, coo):
+        csr = coo_to_csr(coo)
+        csr.validate()
+        np.testing.assert_allclose(csr.to_dense(), coo.to_dense())
+
+    @given(csr_matrices())
+    @settings(max_examples=60)
+    def test_csc_roundtrip(self, csr):
+        back = csc_to_csr(csr_to_csc(csr))
+        assert back.allclose(csr)
+
+    @given(csr_matrices())
+    @settings(max_examples=60)
+    def test_transpose_involution(self, csr):
+        assert transpose_csr(transpose_csr(csr)).allclose(csr)
+
+    @given(csr_matrices())
+    @settings(max_examples=60)
+    def test_transpose_matches_dense(self, csr):
+        np.testing.assert_allclose(
+            transpose_csr(csr).to_dense(), csr.to_dense().T
+        )
+
+    @given(csr_matrices(), st.randoms())
+    @settings(max_examples=60)
+    def test_row_permutation_matches_dense(self, csr, rnd):
+        order = np.array(rnd.sample(range(csr.n_rows), csr.n_rows), dtype=np.int64)
+        got = permute_csr_rows(csr, order)
+        got.validate()
+        np.testing.assert_allclose(got.to_dense(), csr.to_dense()[order])
+
+    @given(csr_matrices(), st.randoms())
+    @settings(max_examples=60)
+    def test_row_permutation_inverse_restores(self, csr, rnd):
+        order = np.array(rnd.sample(range(csr.n_rows), csr.n_rows), dtype=np.int64)
+        back = permute_csr_rows(permute_csr_rows(csr, order), rank_of_permutation(order))
+        assert back.allclose(csr)
+
+    @given(csr_matrices(), st.randoms())
+    @settings(max_examples=60)
+    def test_column_permutation_preserves_nnz_and_canonical(self, csr, rnd):
+        col_map = np.array(rnd.sample(range(csr.n_cols), csr.n_cols), dtype=np.int64)
+        got = permute_csr_columns(csr, col_map)
+        got.validate()
+        assert got.nnz == csr.nnz

@@ -1,0 +1,62 @@
+"""Hypothesis property tests for the viz substrate."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.viz import nice_ticks, svg_lines, svg_scatter
+
+finite = st.floats(-1e9, 1e9, allow_nan=False, allow_infinity=False)
+
+
+class TestNiceTicksProperties:
+    @given(finite, finite)
+    def test_sorted_and_bounded_count(self, a, b):
+        ticks = nice_ticks(a, b)
+        assert ticks == sorted(ticks)
+        assert 1 <= len(ticks) <= 12
+
+    @given(finite, finite)
+    def test_ticks_inside_range(self, a, b):
+        assume(abs(a - b) > 1e-9)
+        lo, hi = min(a, b), max(a, b)
+        ticks = nice_ticks(lo, hi)
+        span = hi - lo
+        for t in ticks:
+            assert lo - span * 1e-6 <= t <= hi + span * 1e-6
+
+    @given(finite, finite)
+    def test_uniform_step(self, a, b):
+        assume(abs(a - b) > 1e-6)
+        ticks = nice_ticks(min(a, b), max(a, b))
+        if len(ticks) >= 3:
+            diffs = np.diff(ticks)
+            np.testing.assert_allclose(diffs, diffs[0], rtol=1e-6)
+
+
+class TestChartsNeverCrash:
+    @given(
+        st.lists(finite, min_size=1, max_size=40),
+        st.lists(finite, min_size=1, max_size=40),
+    )
+    @settings(max_examples=40)
+    def test_scatter_always_well_formed(self, xs, ys):
+        import xml.etree.ElementTree as ET
+
+        n = min(len(xs), len(ys))
+        svg = svg_scatter(
+            np.array(xs[:n]), np.array(ys[:n]), ["c"] * n,
+            title="T", x_label="x", y_label="y",
+        )
+        ET.fromstring(svg)
+
+    @given(st.lists(st.lists(finite, min_size=1, max_size=30), min_size=1, max_size=4))
+    @settings(max_examples=40)
+    def test_lines_always_well_formed(self, series):
+        import xml.etree.ElementTree as ET
+
+        svg = svg_lines(
+            {f"s{i}": np.array(v) for i, v in enumerate(series)},
+            title="T", x_label="x", y_label="y",
+        )
+        ET.fromstring(svg)

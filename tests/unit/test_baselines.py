@@ -1,0 +1,144 @@
+"""Unit tests for repro.baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BidmachLikeSDDMM,
+    CusparseLikeSpMM,
+    apply_symmetric_order,
+    bisection_order,
+    reverse_cuthill_mckee,
+    symmetrized_adjacency,
+)
+from repro.errors import ValidationError
+from repro.kernels import assert_sddmm_correct, assert_spmm_correct
+from repro.sparse import CSRMatrix, bandwidth
+
+from conftest import random_csr
+
+
+def banded_matrix(n=40, band=2):
+    dense = np.zeros((n, n))
+    for i in range(n):
+        for j in range(max(0, i - band), min(n, i + band + 1)):
+            dense[i, j] = 1.0
+    return CSRMatrix.from_dense(dense)
+
+
+class TestWrappers:
+    def test_cusparse_like_correct(self, rng):
+        m = random_csr(rng, 20, 15, 0.2)
+        X = rng.normal(size=(15, 4))
+        kernel = CusparseLikeSpMM(m)
+        assert_spmm_correct(m, X, kernel.spmm(X))
+
+    def test_cusparse_like_cost(self, rng):
+        m = random_csr(rng, 20, 15, 0.2)
+        cost = CusparseLikeSpMM(m).cost(512)
+        assert cost.variant == "cusparse" and cost.op == "spmm"
+
+    def test_bidmach_like_correct(self, rng):
+        m = random_csr(rng, 20, 15, 0.2)
+        X = rng.normal(size=(15, 4))
+        Y = rng.normal(size=(20, 4))
+        kernel = BidmachLikeSDDMM(m)
+        assert_sddmm_correct(m, X, Y, kernel.sddmm(X, Y))
+
+    def test_bidmach_like_cost(self, rng):
+        m = random_csr(rng, 20, 20, 0.2)
+        cost = BidmachLikeSDDMM(m).cost(512)
+        assert cost.variant == "bidmach" and cost.op == "sddmm"
+
+
+class TestSymmetrizedAdjacency:
+    def test_symmetric_no_diagonal(self, rng):
+        m = random_csr(rng, 15, 15, 0.2)
+        adj = symmetrized_adjacency(m)
+        dense = adj.to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+        assert np.diag(dense).sum() == 0.0
+
+    def test_rectangular_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            symmetrized_adjacency(random_csr(rng, 5, 6, 0.2))
+
+    def test_pattern_values_are_one(self, rng):
+        adj = symmetrized_adjacency(random_csr(rng, 10, 10, 0.3))
+        assert set(np.unique(adj.values)) <= {1.0}
+
+
+class TestRCM:
+    def test_is_permutation(self, rng):
+        m = random_csr(rng, 30, 30, 0.1)
+        order = reverse_cuthill_mckee(m)
+        assert sorted(order.tolist()) == list(range(30))
+
+    def test_reduces_bandwidth_of_shuffled_band(self, rng):
+        m = banded_matrix(50, 2)
+        shuffle = rng.permutation(50).astype(np.int64)
+        shuffled = apply_symmetric_order(m, shuffle)
+        assert bandwidth(shuffled) > bandwidth(m)
+        recovered = apply_symmetric_order(shuffled, reverse_cuthill_mckee(shuffled))
+        assert bandwidth(recovered) < bandwidth(shuffled) / 2
+
+    def test_disconnected_components_covered(self):
+        dense = np.zeros((6, 6))
+        dense[0, 1] = dense[1, 0] = 1.0
+        dense[4, 5] = dense[5, 4] = 1.0
+        order = reverse_cuthill_mckee(CSRMatrix.from_dense(dense))
+        assert sorted(order.tolist()) == list(range(6))
+
+    def test_empty_graph(self):
+        order = reverse_cuthill_mckee(CSRMatrix.empty((5, 5)))
+        assert sorted(order.tolist()) == list(range(5))
+
+
+class TestBisection:
+    def test_is_permutation(self, rng):
+        m = random_csr(rng, 40, 40, 0.08)
+        order = bisection_order(m, leaf_size=8)
+        assert sorted(order.tolist()) == list(range(40))
+
+    def test_leaf_size_one(self, rng):
+        m = random_csr(rng, 20, 20, 0.15)
+        order = bisection_order(m, leaf_size=1)
+        assert sorted(order.tolist()) == list(range(20))
+
+    def test_groups_connected_blocks(self):
+        # Two disjoint cliques: bisection must label each contiguously.
+        dense = np.zeros((8, 8))
+        dense[:4, :4] = 1.0
+        dense[4:, 4:] = 1.0
+        np.fill_diagonal(dense, 0.0)
+        order = bisection_order(CSRMatrix.from_dense(dense), leaf_size=4)
+        first_half = set(order[:4].tolist())
+        assert first_half in ({0, 1, 2, 3}, {4, 5, 6, 7})
+
+    def test_invalid_leaf_size(self, rng):
+        with pytest.raises(ValidationError):
+            bisection_order(random_csr(rng, 10, 10, 0.2), leaf_size=0)
+
+
+class TestApplySymmetricOrder:
+    def test_matches_dense_relabelling(self, rng):
+        m = random_csr(rng, 12, 12, 0.25)
+        order = rng.permutation(12).astype(np.int64)
+        got = apply_symmetric_order(m, order)
+        dense = m.to_dense()
+        expected = dense[np.ix_(order, order)]
+        np.testing.assert_allclose(got.to_dense(), expected)
+
+    def test_identity(self, rng):
+        m = random_csr(rng, 10, 10, 0.3)
+        got = apply_symmetric_order(m, np.arange(10))
+        assert got.allclose(m)
+
+    def test_preserves_spectrum_symmetric(self, rng):
+        # Vertex relabelling is a similarity transform: eigenvalues of a
+        # symmetric matrix are invariant.
+        m = symmetrized_adjacency(random_csr(rng, 12, 12, 0.3))
+        order = rng.permutation(12).astype(np.int64)
+        a = np.sort(np.linalg.eigvalsh(m.to_dense()))
+        b = np.sort(np.linalg.eigvalsh(apply_symmetric_order(m, order).to_dense()))
+        np.testing.assert_allclose(a, b, atol=1e-9)

@@ -1,0 +1,193 @@
+"""Unit tests for the repro CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sparse import CSRMatrix, read_matrix_market, write_matrix_market
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.k == [512, 1024]
+        assert args.scale == "small"
+
+    def test_table_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "5"])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "9", "--k", "1024"])
+        assert args.number == 9 and args.k == 1024
+
+
+class TestCommands:
+    def test_generators(self, capsys):
+        assert main(["generators"]) == 0
+        out = capsys.readouterr().out
+        assert "rmat" in out and "hidden_clusters" in out
+
+    def test_corpus_listing(self, capsys):
+        assert main(["corpus", "--scale", "tiny", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "total:" in out
+        assert "hidden" in out
+
+    def test_run_table_figure_roundtrip(self, tmp_path, capsys, monkeypatch):
+        out_path = tmp_path / "results.json"
+        # Run on the tiny scale to keep CI fast.
+        assert (
+            main(
+                [
+                    "run",
+                    "--scale",
+                    "tiny",
+                    "--repeats",
+                    "1",
+                    "--k",
+                    "512",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        assert out_path.exists()
+        data = json.loads(out_path.read_text())
+        assert len(data) > 0
+
+        for table in ("1", "2", "3", "4"):
+            assert main(["table", table, "--records", str(out_path)]) == 0
+        for fig in ("8", "9", "10", "11", "12"):
+            assert main(["figure", fig, "--records", str(out_path), "--k", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Fig 8" in out
+
+    def test_reorder_mtx(self, tmp_path, capsys):
+        rng = np.random.default_rng(0)
+        dense = np.zeros((40, 40))
+        pattern = rng.choice(40, size=6, replace=False)
+        for group in range(8):
+            rows = rng.choice(40, size=5, replace=False)
+            cols = rng.choice(40, size=6, replace=False)
+            for r in rows:
+                dense[r, cols] = 1.0
+        m = CSRMatrix.from_dense(dense)
+        src = tmp_path / "in.mtx"
+        dst = tmp_path / "out.mtx"
+        write_matrix_market(src, m)
+        assert (
+            main(["reorder", "--mtx", str(src), "--out", str(dst), "--panel-height", "4"])
+            == 0
+        )
+        reordered = read_matrix_market(dst)
+        assert reordered.shape == m.shape
+        assert reordered.nnz == m.nnz
+        out = capsys.readouterr().out
+        assert "dense ratio" in out
+
+    def test_metis_command(self, capsys):
+        assert main(["metis", "--scale", "tiny", "--k", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "vertex reordering" in out
+
+
+class TestFigureJsonExport:
+    def test_json_dump(self, tmp_path, capsys):
+        out_path = tmp_path / "r.json"
+        assert (
+            main(["run", "--scale", "tiny", "--repeats", "1", "--k", "512",
+                  "--out", str(out_path)]) == 0
+        )
+        fig_path = tmp_path / "fig9.json"
+        assert (
+            main(["figure", "9", "--records", str(out_path), "--k", "512",
+                  "--json", str(fig_path)]) == 0
+        )
+        data = json.loads(fig_path.read_text())
+        assert "delta_dense_ratio" in data and "text" not in data
+
+
+class TestReportCommand:
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        records_path = tmp_path / "r.json"
+        assert (
+            main(["run", "--scale", "tiny", "--repeats", "1", "--k", "512",
+                  "--out", str(records_path)]) == 0
+        )
+        out_md = tmp_path / "EXP.md"
+        assert (
+            main(["report", "--records", str(records_path), "--out", str(out_md)]) == 0
+        )
+        text = out_md.read_text()
+        assert "Table 1" in text and "per-category" in text
+
+
+class TestHtmlReport:
+    def test_html_report_from_cli(self, tmp_path, capsys):
+        records_path = tmp_path / "r.json"
+        assert (
+            main(["run", "--scale", "tiny", "--repeats", "1", "--k", "512",
+                  "--out", str(records_path)]) == 0
+        )
+        html_path = tmp_path / "report.html"
+        assert (
+            main(["report", "--records", str(records_path),
+                  "--out", str(tmp_path / "EXP.md"), "--html", str(html_path)]) == 0
+        )
+        text = html_path.read_text()
+        assert text.count("<svg") == 5
+        assert "Table 1" in text and "prefers-color-scheme" in text
+
+    def test_render_html_report_direct(self, tmp_path):
+        from repro.experiments import (
+            ExperimentConfig,
+            render_html_report,
+            run_experiment,
+        )
+        from repro.datasets import build_corpus
+
+        entries = build_corpus("tiny", repeats=1, categories=("hidden",))[:2]
+        records = run_experiment(
+            ExperimentConfig(ks=(512, 1024), scale="tiny", repeats=1),
+            entries=entries,
+        )
+        html = render_html_report(records, mode="dark")
+        assert "#1a1a19" in html  # dark figures embedded
+        assert "Table 4" in html
+
+
+class TestAutotuneCommand:
+    def test_autotune_mtx(self, tmp_path, capsys):
+        from repro.datasets import hidden_clusters
+        from repro.sparse import write_matrix_market
+
+        m = hidden_clusters(60, 6, 1024, 12, seed=0)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, m)
+        assert main(["autotune", "--mtx", str(path), "--k", "256",
+                     "--panel-height", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "decision:" in out and "modelled spmm" in out
+
+
+class TestJobsFlag:
+    def test_jobs_parse_default(self):
+        args = build_parser().parse_args(["run"])
+        assert args.jobs == 1
+
+    def test_run_with_jobs(self, tmp_path):
+        out_path = tmp_path / "r.json"
+        assert (
+            main(["run", "--scale", "tiny", "--repeats", "1", "--k", "512",
+                  "--jobs", "2", "--out", str(out_path)]) == 0
+        )
+        assert out_path.exists()

@@ -1,0 +1,218 @@
+"""Unit tests for repro.clustering (union-find, heap, Alg. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    ClusteringResult,
+    MaxHeap,
+    UnionFind,
+    cluster_rows,
+    clusters_from_forest,
+    order_from_clusters,
+)
+from repro.errors import ValidationError
+
+
+class TestUnionFind:
+    def test_initial_state(self):
+        uf = UnionFind(4)
+        assert len(uf) == 4
+        assert uf.n_sets == 4
+        assert all(uf.is_root(i) for i in range(4))
+
+    def test_union_by_size_smaller_into_larger(self):
+        uf = UnionFind(5)
+        uf.union_by_size(0, 1)  # {0,1} rooted at 0 (tie -> smaller index)
+        assert uf.root(1) == 0
+        uf.union_by_size(2, 3)  # {2,3} rooted at 2
+        r = uf.union_by_size(1, 2)  # equal sizes -> smaller root wins
+        assert r == 0
+        assert uf.root(3) == 0
+        assert uf.size[0] == 4
+        assert uf.n_sets == 2
+
+    def test_larger_cluster_root_survives(self):
+        uf = UnionFind(5)
+        uf.union_by_size(3, 4)  # {3,4} rooted at 3
+        uf.union_by_size(3, 2)  # size 2 vs 1 -> root stays 3
+        assert uf.root(2) == 3
+        r = uf.union_by_size(0, 3)  # {0} size 1 into {2,3,4} size 3
+        assert r == 3
+
+    def test_union_same_set_noop(self):
+        uf = UnionFind(3)
+        uf.union_by_size(0, 1)
+        before = uf.n_sets
+        assert uf.union_by_size(0, 1) == uf.root(0)
+        assert uf.n_sets == before
+
+    def test_merge_roots_rejects_non_roots(self):
+        uf = UnionFind(3)
+        uf.union_by_size(0, 1)
+        with pytest.raises(ValueError):
+            uf.merge_roots(1, 2)  # 1 is no longer a root
+
+    def test_merge_roots_rejects_self_merge(self):
+        uf = UnionFind(3)
+        with pytest.raises(ValueError):
+            uf.merge_roots(1, 1)
+
+    def test_path_halving_preserves_roots(self):
+        uf = UnionFind(50)
+        for i in range(1, 50):
+            uf.union_by_size(0, i)
+        assert all(uf.root(i) == 0 for i in range(50))
+        assert uf.size[0] == 50
+        assert uf.n_sets == 1
+
+    def test_members(self):
+        uf = UnionFind(4)
+        uf.union_by_size(0, 2)
+        m = uf.members()
+        assert m[0] == [0, 2]
+        assert m[1] == [1]
+
+
+class TestMaxHeap:
+    def test_push_pop_ordering(self):
+        h = MaxHeap()
+        h.push(0.3, 1, 2)
+        h.push(0.9, 0, 3)
+        h.push(0.5, 4, 5)
+        assert h.pop() == (0.9, 0, 3)
+        assert h.pop() == (0.5, 4, 5)
+        assert h.pop() == (0.3, 1, 2)
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            MaxHeap().pop()
+        with pytest.raises(IndexError):
+            MaxHeap().peek()
+
+    def test_peek_does_not_remove(self):
+        h = MaxHeap()
+        h.push(1.0, 0, 1)
+        assert h.peek() == (1.0, 0, 1)
+        assert len(h) == 1
+
+    def test_tie_break_deterministic(self):
+        h = MaxHeap()
+        h.push(0.5, 3, 4)
+        h.push(0.5, 1, 2)
+        h.push(0.5, 1, 0)
+        assert h.pop() == (0.5, 1, 0)
+        assert h.pop() == (0.5, 1, 2)
+        assert h.pop() == (0.5, 3, 4)
+
+    def test_growth_beyond_capacity(self):
+        h = MaxHeap(capacity=2)
+        for k in range(100):
+            h.push(float(k), k, k + 1)
+        assert len(h) == 100
+        out = [h.pop()[0] for _ in range(100)]
+        assert out == sorted(out, reverse=True)
+
+    def test_from_arrays_heapifies(self):
+        sims = np.array([0.1, 0.9, 0.4, 0.7])
+        h = MaxHeap.from_arrays(sims, np.arange(4), np.arange(4) + 10)
+        assert h.pop() == (0.9, 1, 11)
+        assert len(h) == 3
+
+    def test_from_arrays_length_mismatch(self):
+        with pytest.raises(ValueError):
+            MaxHeap.from_arrays(np.zeros(2), np.zeros(3, dtype=np.int64), np.zeros(2, dtype=np.int64))
+
+    def test_bool(self):
+        h = MaxHeap()
+        assert not h
+        h.push(0.5, 0, 1)
+        assert h
+
+    def test_random_sequence_matches_sorted(self):
+        rng = np.random.default_rng(0)
+        sims = rng.random(500)
+        h = MaxHeap.from_arrays(sims, np.arange(500), np.arange(500))
+        popped = [h.pop()[0] for _ in range(500)]
+        np.testing.assert_allclose(popped, np.sort(sims)[::-1])
+
+
+class TestClusterRows:
+    def test_paper_fig6_example(self, paper_matrix):
+        # LSH generates (0,4) with J=2/3 and (2,4) with J=1/4; the
+        # clustering must return [0, 2, 4, 1, 3, 5] (paper Fig. 6).
+        pairs = np.array([[0, 4], [2, 4]])
+        sims = np.array([2 / 3, 1 / 4])
+        result = cluster_rows(paper_matrix, pairs, sims)
+        assert result.order.tolist() == [0, 2, 4, 1, 3, 5]
+        assert result.n_clusters == 4
+        assert result.n_merges == 2
+        assert result.n_requeued == 1  # (2,4) re-queued as (0,2)
+
+    def test_no_candidates_identity(self, paper_matrix):
+        result = cluster_rows(
+            paper_matrix, np.empty((0, 2), dtype=np.int64), np.zeros(0)
+        )
+        assert result.is_identity
+        assert result.n_clusters == 6
+
+    def test_order_is_permutation(self, paper_matrix, rng):
+        pairs = np.array([[0, 4], [2, 4], [1, 5], [3, 5]])
+        sims = np.array([0.6, 0.25, 0.3, 0.2])
+        result = cluster_rows(paper_matrix, pairs, sims)
+        assert sorted(result.order.tolist()) == list(range(6))
+
+    def test_threshold_size_retires_clusters(self, paper_matrix):
+        pairs = np.array([[0, 4], [2, 4], [0, 2]])
+        sims = np.array([2 / 3, 1 / 4, 1 / 4])
+        result = cluster_rows(paper_matrix, pairs, sims, threshold_size=2)
+        # First merge creates a cluster of size 2 -> retired immediately,
+        # so 2 cannot join {0, 4}.
+        assert result.n_retired >= 1
+        assert result.cluster_of[2] != result.cluster_of[0]
+
+    def test_cluster_of_consistent_with_order(self, paper_matrix):
+        pairs = np.array([[0, 4], [2, 4]])
+        sims = np.array([2 / 3, 1 / 4])
+        result = cluster_rows(paper_matrix, pairs, sims)
+        # Rows of the same cluster are contiguous in the order.
+        positions = {int(r): k for k, r in enumerate(result.order)}
+        for root in np.unique(result.cluster_of):
+            members = np.flatnonzero(result.cluster_of == root)
+            pos = sorted(positions[int(m)] for m in members)
+            assert pos == list(range(pos[0], pos[0] + len(pos)))
+
+    def test_mismatched_inputs_rejected(self, paper_matrix):
+        with pytest.raises(ValidationError):
+            cluster_rows(paper_matrix, np.array([[0, 1]]), np.zeros(2))
+        with pytest.raises(ValidationError):
+            cluster_rows(paper_matrix, np.array([0, 1]), np.zeros(2))
+
+    def test_duplicate_candidates_harmless(self, paper_matrix):
+        pairs = np.array([[0, 4], [0, 4], [4, 0]])
+        sims = np.array([2 / 3, 2 / 3, 2 / 3])
+        result = cluster_rows(paper_matrix, pairs, sims)
+        assert result.n_merges == 1
+
+    def test_result_type(self, paper_matrix):
+        result = cluster_rows(paper_matrix, np.array([[0, 4]]), np.array([0.5]))
+        assert isinstance(result, ClusteringResult)
+
+
+class TestOrdering:
+    def test_clusters_from_forest_ordering(self):
+        uf = UnionFind(6)
+        uf.union_by_size(4, 2)
+        uf.union_by_size(5, 1)
+        clusters = clusters_from_forest(uf)
+        keys = [members[0] for members in clusters.values()]
+        assert keys == sorted(keys)
+        all_members = np.concatenate(list(clusters.values()))
+        assert sorted(all_members.tolist()) == list(range(6))
+
+    def test_order_from_clusters_identity_when_empty(self):
+        assert order_from_clusters({}, 4).tolist() == [0, 1, 2, 3]
+
+    def test_order_from_clusters_wrong_cover(self):
+        with pytest.raises(ValueError):
+            order_from_clusters({0: np.array([0, 1])}, 4)

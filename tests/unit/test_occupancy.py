@@ -1,0 +1,60 @@
+"""Unit tests for repro.gpu.occupancy."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.gpu import P100, occupancy
+
+
+class TestOccupancy:
+    def test_rowwise_kernel_geometry_saturates(self):
+        # The modelled row-wise kernel: 4 warps (128 threads), no shared
+        # memory, typical register budget.  Must reach high occupancy —
+        # this licenses the cost model's bandwidth-saturation assumption.
+        result = occupancy(P100, 128, registers_per_thread=32)
+        assert result.occupancy >= 0.75
+        assert result.blocks_per_sm >= 8
+
+    def test_aspt_dense_phase_geometry(self):
+        # ASpT dense phase stages a 128-column x 32-wide fp32 tile
+        # (16 KiB) in shared memory per block.
+        result = occupancy(
+            P100, 128, registers_per_thread=32, shared_bytes_per_block=16 * 1024
+        )
+        assert result.blocks_per_sm == 4  # 64 KiB / 16 KiB
+        assert result.limiter == "shared_memory"
+        assert result.occupancy >= 0.25
+
+    def test_threads_limiter(self):
+        result = occupancy(P100, 1024, registers_per_thread=16)
+        assert result.limiter == "threads"
+        assert result.blocks_per_sm == 2
+
+    def test_register_limiter(self):
+        result = occupancy(P100, 256, registers_per_thread=255)
+        assert result.limiter == "registers"
+        assert result.blocks_per_sm == 1
+
+    def test_blocks_limiter_tiny_blocks(self):
+        result = occupancy(P100, 32, registers_per_thread=16)
+        assert result.limiter == "blocks"
+        assert result.blocks_per_sm == P100.max_blocks_per_sm
+
+    def test_occupancy_bounded(self):
+        result = occupancy(P100, 256)
+        assert 0.0 < result.occupancy <= 1.0
+        assert result.active_warps == result.blocks_per_sm * 8
+
+    def test_non_warp_multiple_rejected(self):
+        with pytest.raises(ValidationError):
+            occupancy(P100, 100)
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(ValidationError):
+            occupancy(P100, 4096)
+
+    def test_bad_args(self):
+        with pytest.raises(ValidationError):
+            occupancy(P100, 0)
+        with pytest.raises(ValidationError):
+            occupancy(P100, 128, shared_bytes_per_block=-1)

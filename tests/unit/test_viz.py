@@ -1,0 +1,229 @@
+"""Unit tests for repro.viz (SVG chart rendering)."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.viz import PALETTE, figure_svg, nice_ticks, svg_bars, svg_lines, svg_scatter
+
+SVG = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text: str) -> ET.Element:
+    return ET.fromstring(svg_text)
+
+
+class TestNiceTicks:
+    def test_unit_interval(self):
+        ticks = nice_ticks(0.0, 1.0)
+        assert 0.0 in ticks and 1.0 in ticks
+        assert ticks == sorted(ticks)
+
+    def test_clean_steps(self):
+        ticks = nice_ticks(0.0, 1000.0)
+        diffs = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(diffs) == 1
+        step = diffs.pop()
+        mantissa = step / (10 ** np.floor(np.log10(step)))
+        assert round(mantissa, 6) in (1.0, 2.0, 5.0)
+
+    def test_degenerate_range(self):
+        assert nice_ticks(3.0, 3.0)
+        assert nice_ticks(float("nan"), 1.0) == [0.0]
+
+    def test_inverted_range(self):
+        ticks = nice_ticks(5.0, 1.0)
+        assert min(ticks) <= 1.0 + 1.0 and max(ticks) >= 4.0
+
+    def test_negative_span(self):
+        ticks = nice_ticks(-10.0, 10.0)
+        assert any(t < 0 for t in ticks) and any(t > 0 for t in ticks)
+
+
+class TestScatter:
+    def test_well_formed_and_marks(self):
+        svg = svg_scatter(
+            np.array([0.0, 0.5, 1.0]),
+            np.array([1.0, 0.0, 0.5]),
+            ["up", "down", "up"],
+            title="T", x_label="x", y_label="y",
+        )
+        root = parse(svg)
+        circles = root.findall(f".//{SVG}circle")
+        polygons = root.findall(f".//{SVG}polygon")
+        assert len(circles) == 2  # "up" class -> circles
+        assert len(polygons) == 1  # "down" class -> diamonds
+        # Native tooltips present on marks.
+        assert root.findall(f".//{SVG}title")
+
+    def test_marker_ring_is_surface(self):
+        svg = svg_scatter(np.array([0.0]), np.array([0.0]), ["a"], title="T",
+                          x_label="x", y_label="y")
+        root = parse(svg)
+        circle = root.find(f".//{SVG}circle")
+        assert circle.get("stroke") == PALETTE["surface"]
+        assert circle.get("stroke-width") == "2"
+
+    def test_legend_only_for_two_classes(self):
+        one = svg_scatter(np.array([0.0, 1.0]), np.array([0.0, 1.0]), ["a", "a"],
+                          title="T", x_label="x", y_label="y")
+        two = svg_scatter(np.array([0.0, 1.0]), np.array([0.0, 1.0]), ["a", "b"],
+                          title="T", x_label="x", y_label="y")
+        # Legend swatches are rect elements beyond the background rect.
+        assert len(parse(one).findall(f".//{SVG}rect")) == 1
+        assert len(parse(two).findall(f".//{SVG}rect")) == 3
+
+    def test_empty_data(self):
+        svg = svg_scatter(np.array([]), np.array([]), [], title="T",
+                          x_label="x", y_label="y")
+        assert "(no data)" in svg
+
+    def test_text_uses_text_tokens(self):
+        svg = svg_scatter(np.array([0.0]), np.array([0.0]), ["a"], title="T",
+                          x_label="x", y_label="y")
+        root = parse(svg)
+        for text in root.findall(f".//{SVG}text"):
+            assert text.get("fill") in (PALETTE["text_primary"], PALETTE["text_secondary"])
+
+    def test_coordinates_within_viewbox(self):
+        rng = np.random.default_rng(0)
+        svg = svg_scatter(rng.normal(size=50), rng.normal(size=50),
+                          ["a"] * 50, title="T", x_label="x", y_label="y")
+        root = parse(svg)
+        for c in root.findall(f".//{SVG}circle"):
+            assert 0 <= float(c.get("cx")) <= 640
+            assert 0 <= float(c.get("cy")) <= 420
+
+
+class TestLines:
+    def test_series_and_legend(self):
+        svg = svg_lines(
+            {"first": np.array([1.0, 2.0, 3.0]), "second": np.array([3.0, 2.0, 1.0])},
+            title="T", x_label="x", y_label="y",
+        )
+        root = parse(svg)
+        lines = root.findall(f".//{SVG}polyline")
+        assert len(lines) == 2
+        assert all(pl.get("stroke-width") == "2.0" for pl in lines)
+        # Fixed slot order: first series wears slot 1.
+        assert lines[0].get("stroke") == PALETTE["series"][0]
+        assert lines[1].get("stroke") == PALETTE["series"][1]
+
+    def test_single_series_no_legend(self):
+        svg = svg_lines({"only": np.array([1.0, 2.0])}, title="T",
+                        x_label="x", y_label="y")
+        assert len(parse(svg).findall(f".//{SVG}rect")) == 1  # background only
+
+    def test_log_scale_label(self):
+        svg = svg_lines({"s": np.array([1.0, 10.0, 100.0])}, title="T",
+                        x_label="x", y_label="y", log_y=True)
+        assert "log10" in svg
+
+    def test_empty(self):
+        assert "(no data)" in svg_lines({}, title="T", x_label="x", y_label="y")
+
+    def test_end_marker_tooltip_has_raw_value(self):
+        svg = svg_lines({"s": np.array([1.0, 1234.0])}, title="T",
+                        x_label="x", y_label="y")
+        assert "1234" in svg
+
+
+class TestBars:
+    def test_grouped_bars(self):
+        svg = svg_bars(
+            ["a", "b", "c"],
+            {"g1": np.array([1.0, 2.0, 3.0]), "g2": np.array([3.0, 2.0, 1.0])},
+            title="T", y_label="%",
+        )
+        root = parse(svg)
+        rects = root.findall(f".//{SVG}rect")
+        # background + 6 bars + 2 legend swatches
+        assert len(rects) == 9
+
+    def test_bar_width_capped_at_24(self):
+        svg = svg_bars(["one"], {"g": np.array([5.0])}, title="T", y_label="y")
+        root = parse(svg)
+        bars = [r for r in root.findall(f".//{SVG}rect")
+                if r.get("fill") in PALETTE["series"]]
+        assert bars and float(bars[0].get("width")) <= 24.0
+
+    def test_zero_height_bars_ok(self):
+        svg = svg_bars(["a"], {"g": np.array([0.0])}, title="T", y_label="y")
+        parse(svg)
+
+    def test_empty(self):
+        assert "(no data)" in svg_bars([], {}, title="T", y_label="y")
+
+
+class TestFigureSvg:
+    def test_fig8(self):
+        data = {
+            "k": 512,
+            "bands_nr": {"a": 10.0, "b": 90.0},
+            "bands_rr": {"a": 40.0, "b": 60.0},
+        }
+        parse(figure_svg(8, data))
+
+    def test_fig9(self):
+        data = {
+            "k": 512,
+            "delta_dense_ratio": [0.0, 0.5],
+            "delta_avg_sim": [0.1, 0.0],
+            "speedup": [1.2, 0.9],
+        }
+        svg = figure_svg(9, data)
+        assert "speedup" in svg and "slowdown" in svg
+
+    def test_fig10_entity_colors(self):
+        data = {
+            "k": 512,
+            "series": {
+                "cusparse": [1.0, 2.0],
+                "nr(aspt)": [2.0, 3.0],
+                "rr(aspt)": [3.0, 4.0],
+            },
+        }
+        svg = figure_svg(10, data)
+        root = parse(svg)
+        lines = root.findall(f".//{SVG}polyline")
+        assert [l.get("stroke") for l in lines] == PALETTE["series"][:3]
+
+    def test_fig11_and_12(self):
+        parse(figure_svg(11, {"k": 512, "series": {"nr(aspt)": [1.0], "rr(aspt)": [2.0]}}))
+        parse(figure_svg(12, {"times_s": [0.1, 1.0, 10.0]}))
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValidationError):
+            figure_svg(7, {})
+
+
+class TestDarkMode:
+    def test_dark_palette_selected_not_flipped(self):
+        from repro.viz import PALETTE, PALETTE_DARK, get_palette
+
+        assert get_palette("dark") is PALETTE_DARK
+        assert PALETTE_DARK["surface"] == "#1a1a19"
+        # Dark series are re-stepped values, not the light hex.
+        assert PALETTE_DARK["series"][0] != PALETTE["series"][0]
+
+    def test_dark_chart_uses_dark_tokens(self):
+        svg = svg_lines(
+            {"a": np.array([1.0, 2.0]), "b": np.array([2.0, 1.0])},
+            title="T", x_label="x", y_label="y", mode="dark",
+        )
+        from repro.viz import PALETTE_DARK
+
+        root = parse(svg)
+        assert root.find(f"{SVG}rect").get("fill") == PALETTE_DARK["surface"]
+        for text in root.findall(f".//{SVG}text"):
+            assert text.get("fill") in (
+                PALETTE_DARK["text_primary"], PALETTE_DARK["text_secondary"]
+            )
+
+    def test_unknown_mode_rejected(self):
+        from repro.viz import get_palette
+
+        with pytest.raises(ValueError):
+            get_palette("sepia")
