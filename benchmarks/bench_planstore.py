@@ -1,0 +1,81 @@
+"""Plan-store bench: cache-cold vs cache-warm ``build_plan``.
+
+The paper's amortisation argument (preprocess once, multiply many times)
+extends across *calls* with the plan store: the second identical
+``build_plan`` must skip MinHash/LSH/clustering entirely and pay only
+permute + tile.  This bench measures both sides on a clustered synthetic
+matrix at the default corpus scale and asserts the warm path is at least
+5x faster; it also reports the batched parallel front end on a small
+fleet of matrices.
+"""
+
+import os
+import time
+
+from conftest import emit
+from repro.datasets import hidden_clusters
+from repro.planstore import PlanStore, build_plans
+from repro.reorder import ReorderConfig, build_plan
+
+#: Default-scale clustered matrix (matches the "small" corpus regime).
+_MATRIX_ARGS = dict(
+    n_clusters=64, rows_per_cluster=32, n_cols=2048, pattern_nnz=32
+)
+_CFG = ReorderConfig(panel_height=16, force_round1=True)
+
+
+def _measure():
+    matrix = hidden_clusters(noise=0.1, seed=11, **_MATRIX_ARGS)
+    store = PlanStore()
+
+    t0 = time.perf_counter()
+    cold = build_plan(matrix, _CFG, cache=store)
+    cold_s = time.perf_counter() - t0
+
+    warm_laps = []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        warm = build_plan(matrix, _CFG, cache=store)
+        warm_laps.append(time.perf_counter() - t0)
+    warm_s = min(warm_laps)
+    assert warm.row_order.tobytes() == cold.row_order.tobytes()
+
+    # Pool fan-out only pays off with real cores to fan out to.
+    workers = min(4, len(os.sched_getaffinity(0)))
+    fleet = [
+        hidden_clusters(noise=0.1, seed=seed, **_MATRIX_ARGS)
+        for seed in range(4)
+    ]
+    t0 = time.perf_counter()
+    serial = build_plans(fleet, _CFG, workers=1)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fanout = build_plans(fleet, _CFG, workers=workers)
+    fanout_s = time.perf_counter() - t0
+    assert all(r.ok for r in serial) and all(r.ok for r in fanout)
+
+    return {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s,
+        "batch_serial_s": serial_s,
+        "batch_workers": workers,
+        "batch_parallel_s": fanout_s,
+        "batch_speedup": serial_s / fanout_s,
+    }
+
+
+def test_planstore_warm_vs_cold(benchmark):
+    r = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    text = (
+        "Plan store: cache-cold vs cache-warm build_plan\n"
+        f"  cold build        {r['cold_s'] * 1e3:9.1f} ms\n"
+        f"  warm hit          {r['warm_s'] * 1e3:9.1f} ms   "
+        f"({r['speedup']:.1f}x faster)\n"
+        f"  batch of 4 serial {r['batch_serial_s'] * 1e3:9.1f} ms\n"
+        f"  batch workers={r['batch_workers']}   {r['batch_parallel_s'] * 1e3:9.1f} ms   "
+        f"({r['batch_speedup']:.1f}x faster)"
+    )
+    emit(benchmark, text, **r)
+    # Acceptance: the second identical call must be >= 5x faster.
+    assert r["speedup"] >= 5.0, f"warm hit only {r['speedup']:.1f}x faster"

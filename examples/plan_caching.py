@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Plan caching: amortise preprocessing across calls, processes and runs.
+
+The paper's deployment story is "reorder once, multiply many times".  The
+plan store extends the amortisation across *calls*: a serving process that
+sees the same matrix pattern again — a GNN running inference on a fixed
+graph, a recommender retraining on the same rating pattern — pays the
+MinHash/LSH/clustering cost once and a cheap permute+tile afterwards.
+
+This script builds the same plan three times:
+
+1. cache-cold through a fresh ``PlanStore`` (full pipeline runs),
+2. cache-warm from the in-memory LRU tier (zero reordering work),
+3. cache-warm from the *disk* tier through a brand-new store, simulating
+   a process restart.
+
+It verifies all three plans are bit-identical in their decisions and
+numerically identical in their products, then shows the batched parallel
+front end with a structured per-matrix failure.
+
+Run:  python examples/plan_caching.py
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro.datasets import hidden_clusters
+from repro.planstore import PlanStore, build_plans
+from repro.reorder import ReorderConfig, build_plan
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    S = hidden_clusters(
+        n_clusters=128, rows_per_cluster=8, n_cols=3072, pattern_nnz=20,
+        noise=0.1, seed=rng,
+    )
+    config = ReorderConfig(panel_height=16)
+    cache_dir = tempfile.mkdtemp(prefix="repro-plan-cache-")
+    print(f"matrix: {S.n_rows} x {S.n_cols}, nnz = {S.nnz}")
+    print(f"plan store: {cache_dir}")
+
+    # ---- 1. cache-cold: the full Fig. 5 pipeline runs -------------------
+    store = PlanStore(cache_dir=cache_dir)
+    t0 = time.perf_counter()
+    cold = build_plan(S, config, cache=store)
+    cold_s = time.perf_counter() - t0
+    print(f"\ncold build:  {cold_s * 1e3:8.1f} ms  "
+          f"(stages: {sorted(k for k in cold.preprocess_seconds if k != 'total')})")
+
+    # ---- 2. cache-warm from memory: zero reordering work ----------------
+    t0 = time.perf_counter()
+    warm = build_plan(S, config, cache=store)
+    warm_s = time.perf_counter() - t0
+    print(f"warm (mem):  {warm_s * 1e3:8.1f} ms  ({cold_s / warm_s:.0f}x faster; "
+          f"breakdown: {sorted(k for k in warm.preprocess_seconds if k != 'total')})")
+
+    # ---- 3. cache-warm from disk: simulate a process restart ------------
+    restarted = PlanStore(cache_dir=cache_dir)  # empty memory tier
+    t0 = time.perf_counter()
+    persisted = build_plan(S, config, cache=restarted)
+    disk_s = time.perf_counter() - t0
+    print(f"warm (disk): {disk_s * 1e3:8.1f} ms  ({cold_s / disk_s:.0f}x faster)")
+
+    # All three made the same decisions and the same product.
+    assert np.array_equal(cold.row_order, warm.row_order)
+    assert np.array_equal(cold.row_order, persisted.row_order)
+    X = rng.normal(size=(S.n_cols, 64))
+    np.testing.assert_array_equal(warm.spmm(X), cold.spmm(X))
+    np.testing.assert_array_equal(persisted.spmm(X), cold.spmm(X))
+    np.testing.assert_allclose(cold.spmm(X), S.to_dense() @ X, rtol=1e-10, atol=1e-8)
+    print("decisions bit-identical, products verified against dense NumPy")
+    print(f"cache counters: {store.stats()}")
+
+    # ---- batched front end: order-preserving, failures as data ----------
+    fleet = [
+        S,  # warm: same pattern as above
+        hidden_clusters(16, 8, 256, 8, noise=0.1, seed=1),
+        "not a matrix",  # builds must fail per-item, never abort the batch
+    ]
+    results = build_plans(fleet, config, cache=store)
+    print("\nbatch results (input order preserved):")
+    for r in results:
+        status = (
+            f"ok ({'cache hit' if r.cache_hit else 'built'})"
+            if r.ok
+            else f"FAILED: {r.error}"
+        )
+        print(f"  #{r.index}: {status}")
+    assert results[0].cache_hit and results[1].ok and not results[2].ok
+
+
+if __name__ == "__main__":
+    main()

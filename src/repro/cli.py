@@ -8,6 +8,7 @@ Subcommands::
     repro figure    {8,9,10,11,12} --records results.json [--k K]
     repro metis     [--scale S] [--k K]
     repro reorder   --mtx in.mtx --out out.mtx       # reorder a real matrix
+    repro plan      a.mtx b.mtx --cache-dir DIR --workers 4  # batched plan builds
     repro autotune  --mtx in.mtx [--k 512] [--op spmm]  # trial-and-error verdict
     repro report    --records results.json --out EXPERIMENTS.md
     repro generators
@@ -50,6 +51,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the sweep (matrices are independent)",
     )
+    r.add_argument(
+        "--plan-cache-dir", metavar="DIR", default=None,
+        help="persistent plan-store directory; repeated sweeps over the "
+        "same corpus skip the reordering stages",
+    )
 
     t = sub.add_parser("table", help="print a paper table from saved records")
     t.add_argument("number", type=int, choices=(1, 2, 3, 4))
@@ -83,6 +89,21 @@ def build_parser() -> argparse.ArgumentParser:
     ro.add_argument(
         "--plan", metavar="PATH", default=None,
         help="also persist the execution plan (.npz) for offline reuse",
+    )
+
+    pl = sub.add_parser(
+        "plan", help="build (and cache) execution plans for MatrixMarket files"
+    )
+    pl.add_argument("mtx", nargs="+", help="input .mtx files")
+    pl.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent plan-store directory (omit for in-memory only)",
+    )
+    pl.add_argument("--workers", type=int, default=1, help="process-pool size")
+    pl.add_argument("--panel-height", type=int, default=64)
+    pl.add_argument(
+        "--save", metavar="DIR", default=None,
+        help="also write each plan as <DIR>/<stem>.plan.npz for offline reuse",
     )
 
     at = sub.add_parser(
@@ -136,6 +157,7 @@ def _cmd_run(args) -> int:
             else None  # ExperimentConfig picks the scale-matched default
         ),
         verify=args.verify,
+        plan_cache_dir=args.plan_cache_dir,
     )
     records = run_experiment(config, progress=args.jobs == 1, n_jobs=args.jobs)
     save_records(records, args.out)
@@ -242,6 +264,51 @@ def _cmd_reorder(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    from pathlib import Path
+
+    from repro.planstore import PlanStore, build_plans
+    from repro.reorder import ReorderConfig
+    from repro.util.log import enable_console_logging
+
+    enable_console_logging()
+    from repro.sparse import read_matrix_market
+
+    matrices = [read_matrix_market(path) for path in args.mtx]
+    store = PlanStore(cache_dir=args.cache_dir)
+    config = ReorderConfig(panel_height=args.panel_height)
+    results = build_plans(matrices, config, workers=args.workers, cache=store)
+
+    failures = 0
+    for path, matrix, result in zip(args.mtx, matrices, results):
+        if not result.ok:
+            failures += 1
+            print(f"{path}: FAILED ({result.error})")
+            continue
+        plan = result.plan
+        s = plan.stats
+        origin = "cache" if result.cache_hit else "built"
+        print(
+            f"{path}: {matrix.n_rows}x{matrix.n_cols} nnz={matrix.nnz} "
+            f"[{origin}] rounds 1={s.round1_applied} 2={s.round2_applied} "
+            f"dense ratio {s.dense_ratio_before:.3f} -> {s.dense_ratio_after:.3f}"
+        )
+        if args.save:
+            out_dir = Path(args.save)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out = out_dir / (Path(path).stem + ".plan.npz")
+            plan.save(out)
+            print(f"  saved {out}")
+    stats = store.stats()
+    mem = stats["memory"]
+    line = f"cache: memory {mem['hits']} hits / {mem['misses']} misses"
+    if "disk" in stats:
+        disk = stats["disk"]
+        line += f"; disk {disk['hits']} hits / {disk['misses']} misses"
+    print(line)
+    return 1 if failures else 0
+
+
 def _cmd_autotune(args) -> int:
     from repro.reorder import ReorderConfig, autotune
     from repro.sparse import read_matrix_market
@@ -298,6 +365,7 @@ def main(argv=None) -> int:
         "figure": _cmd_figure,
         "metis": _cmd_metis,
         "reorder": _cmd_reorder,
+        "plan": _cmd_plan,
         "autotune": _cmd_autotune,
         "report": _cmd_report,
         "generators": _cmd_generators,

@@ -100,6 +100,11 @@ class ExperimentConfig:
     verify:
         When true, functionally validate each plan against the dense
         oracle (slow; for small corpora and CI).
+    plan_cache_dir:
+        When set, reordering decisions are cached in a
+        :class:`repro.planstore.PlanStore` rooted at this directory, so
+        sweeps that revisit a (pattern, config) pair skip the
+        MinHash/LSH/clustering stages entirely.
     """
 
     ks: tuple[int, ...] = (512, 1024)
@@ -112,6 +117,7 @@ class ExperimentConfig:
     cache_mode: str = "approx"
     verify: bool = False
     auto_scale_model: bool = True  #: apply :func:`scale_model` for the corpus scale
+    plan_cache_dir: str | None = None  #: persistent plan-store directory (optional)
 
     def __post_init__(self):
         if not self.ks:

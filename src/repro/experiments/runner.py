@@ -32,23 +32,39 @@ __all__ = ["run_experiment", "run_single_matrix"]
 _log = get_logger("experiments")
 
 
+def _plan_store(config: ExperimentConfig):
+    """The run's plan cache, or None when caching is not configured."""
+    if config.plan_cache_dir is None:
+        return None
+    from repro.planstore import PlanStore
+
+    return PlanStore(cache_dir=config.plan_cache_dir)
+
+
 def _run_entry(packed):
     """Process-pool worker: one corpus entry -> its records (picklable)."""
     entry, config = packed
     device, cost = config.effective_model()
     executor = GPUExecutor(device, cost, cache_mode=config.cache_mode)
-    return run_single_matrix(entry, config, executor)
+    # Each worker opens its own store over the shared disk directory; the
+    # memory tiers are per-process but the persistent tier is common.
+    return run_single_matrix(entry, config, executor, plan_cache=_plan_store(config))
 
 
 def run_single_matrix(
-    entry: CorpusEntry, config: ExperimentConfig, executor: GPUExecutor
+    entry: CorpusEntry,
+    config: ExperimentConfig,
+    executor: GPUExecutor,
+    plan_cache=None,
 ) -> list[MatrixRecord]:
     """Evaluate one corpus entry at every ``K``; returns one record per K."""
     csr = entry.matrix
     plan_nr = build_plan(
-        csr, replace(config.reorder, force_round1=False, force_round2=False)
+        csr,
+        replace(config.reorder, force_round1=False, force_round2=False),
+        cache=plan_cache,
     )
-    plan_rr = build_plan(csr, config.reorder)
+    plan_rr = build_plan(csr, config.reorder, cache=plan_cache)
     if config.verify:
         plan_rr.validate()
         plan_nr.validate()
@@ -149,6 +165,7 @@ def run_experiment(
 
     device, cost = config.effective_model()
     executor = GPUExecutor(device, cost, cache_mode=config.cache_mode)
+    plan_cache = _plan_store(config)
     records = []
     for i, entry in enumerate(entries):
         if progress:
@@ -161,5 +178,7 @@ def run_experiment(
                 entry.matrix.n_cols,
                 entry.matrix.nnz,
             )
-        records.extend(run_single_matrix(entry, config, executor))
+        records.extend(
+            run_single_matrix(entry, config, executor, plan_cache=plan_cache)
+        )
     return records

@@ -1,0 +1,49 @@
+"""Content-addressed caching and batched building of execution plans.
+
+The paper's preprocessing (MinHash -> LSH -> clustering -> ASpT tiling,
+Alg. 3 / Fig. 5) is paid once per matrix and amortised over many
+SpMM/SDDMM calls.  This package makes that amortisation real across
+*calls, processes and runs*:
+
+* :mod:`repro.planstore.fingerprint` — stable content keys: a plan is a
+  pure function of the sparsity pattern and the
+  :class:`~repro.reorder.ReorderConfig`, so the key hashes exactly those
+  (plus a format version);
+* :class:`PlanDecisions` — the cacheable essence of a plan (the two
+  permutations + statistics), re-materialised against the caller's values
+  on every hit;
+* :class:`LRUPlanCache` — bounded in-process tier with hit/miss/eviction
+  counters;
+* :class:`DiskPlanStore` — persistent tier with atomic writes, versioned
+  entries and corrupt-entry quarantine (failures degrade to misses);
+* :class:`PlanStore` — the two tiers composed, accepted by
+  :func:`repro.reorder.build_plan` via its ``cache=`` argument;
+* :func:`build_plans` — batched parallel front end (process-pool fan-out,
+  input-order results, structured per-matrix failures).
+"""
+
+from repro.planstore.batch import PlanResult, build_plans
+from repro.planstore.decisions import PlanDecisions
+from repro.planstore.disk import DiskPlanStore
+from repro.planstore.fingerprint import (
+    PLAN_FORMAT_VERSION,
+    config_fingerprint,
+    pattern_fingerprint,
+    plan_key,
+)
+from repro.planstore.memory import CacheStats, LRUPlanCache
+from repro.planstore.store import PlanStore
+
+__all__ = [
+    "PLAN_FORMAT_VERSION",
+    "pattern_fingerprint",
+    "config_fingerprint",
+    "plan_key",
+    "PlanDecisions",
+    "CacheStats",
+    "LRUPlanCache",
+    "DiskPlanStore",
+    "PlanStore",
+    "PlanResult",
+    "build_plans",
+]

@@ -1,0 +1,175 @@
+"""On-disk tier of the plan store.
+
+One ``<key>.plan.npz`` file per cache entry under a root directory.  The
+design goals, in order:
+
+1. **Never return a wrong plan.**  Entries carry a format version and are
+   fully validated on read; anything unreadable or inconsistent is a miss.
+2. **Never crash the caller.**  I/O errors, truncated files, zip damage
+   and permission problems degrade to a miss plus one warning.
+3. **Survive concurrent writers.**  Writes go to a unique temporary file
+   in the same directory and land via :func:`os.replace`, which is atomic
+   on POSIX and Windows — two processes racing on one key both leave a
+   complete, valid file (last writer wins; both wrote identical bytes
+   anyway, since the key fixes the content).
+
+Corrupt entries are *quarantined* (renamed to ``*.corrupt``) rather than
+deleted, so an operator can inspect what happened; a subsequent put simply
+rewrites the key.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+import zipfile
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.planstore.decisions import PlanDecisions
+from repro.planstore.fingerprint import PLAN_FORMAT_VERSION
+from repro.reorder.pipeline import PlanStats
+from repro.util.log import get_logger
+
+__all__ = ["DiskPlanStore"]
+
+_log = get_logger("planstore")
+
+#: Exceptions that mean "this entry is unreadable", not "the program is
+#: broken": zip-level damage, missing/ill-shaped arrays, filesystem errors.
+_READ_FAILURES = (
+    OSError,
+    zipfile.BadZipFile,
+    KeyError,
+    ValueError,
+    EOFError,
+    zlib.error,
+)
+
+
+class DiskPlanStore:
+    """Directory-backed ``key -> PlanDecisions`` store (see module docs)."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        from repro.planstore.memory import CacheStats
+
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Filesystem path of ``key``'s entry."""
+        if not key or any(c in key for c in "/\\."):
+            raise ValueError(f"invalid cache key {key!r}")
+        return self.root / f"{key}.plan.npz"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> PlanDecisions | None:
+        """Load ``key`` from disk; any failure degrades to a miss."""
+        path = self.path_for(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            decisions = self._read(path)
+        except _VersionMismatch as exc:
+            _log.warning("plan cache %s: %s; treating as miss", path.name, exc)
+            self.stats.misses += 1
+            return None
+        except _READ_FAILURES as exc:
+            _log.warning(
+                "plan cache %s: unreadable (%s: %s); quarantining",
+                path.name,
+                type(exc).__name__,
+                exc,
+            )
+            self._quarantine(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return decisions
+
+    def put(self, key: str, decisions: PlanDecisions) -> None:
+        """Atomically persist ``key`` (write temp file, then rename)."""
+        path = self.path_for(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(
+                    fh,
+                    format_version=np.int64(PLAN_FORMAT_VERSION),
+                    row_order=decisions.row_order,
+                    remainder_order=decisions.remainder_order,
+                    stats=np.array(
+                        [
+                            decisions.stats.dense_ratio_before,
+                            decisions.stats.dense_ratio_after,
+                            decisions.stats.avg_sim_before,
+                            decisions.stats.avg_sim_after,
+                            float(decisions.stats.round1_applied),
+                            float(decisions.stats.round2_applied),
+                            float(decisions.stats.n_candidates_round1),
+                            float(decisions.stats.n_candidates_round2),
+                        ]
+                    ),
+                    preprocess_total=np.float64(decisions.preprocess_total),
+                )
+            os.replace(tmp, path)
+            self.stats.puts += 1
+        except OSError as exc:
+            _log.warning("plan cache: could not write %s (%s)", path.name, exc)
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read(path: Path) -> PlanDecisions:
+        with np.load(path, allow_pickle=False) as data:
+            version = int(data["format_version"])
+            if version != PLAN_FORMAT_VERSION:
+                raise _VersionMismatch(
+                    f"format version {version} != {PLAN_FORMAT_VERSION}"
+                )
+            row_order = np.ascontiguousarray(data["row_order"], dtype=np.int64)
+            remainder_order = np.ascontiguousarray(
+                data["remainder_order"], dtype=np.int64
+            )
+            raw = data["stats"]
+            if raw.shape != (8,):
+                raise ValueError(f"stats block has shape {raw.shape}, expected (8,)")
+            preprocess_total = float(data["preprocess_total"])
+        stats = PlanStats(
+            dense_ratio_before=float(raw[0]),
+            dense_ratio_after=float(raw[1]),
+            avg_sim_before=float(raw[2]),
+            avg_sim_after=float(raw[3]),
+            round1_applied=bool(raw[4]),
+            round2_applied=bool(raw[5]),
+            n_candidates_round1=int(raw[6]),
+            n_candidates_round2=int(raw[7]),
+        )
+        return PlanDecisions(
+            row_order=row_order,
+            remainder_order=remainder_order,
+            stats=stats,
+            preprocess_total=preprocess_total,
+        )
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:  # already gone, or unwritable dir — miss either way
+            pass
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.plan.npz"))
+
+
+class _VersionMismatch(Exception):
+    """Entry was written by an incompatible format version."""

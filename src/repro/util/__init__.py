@@ -16,6 +16,7 @@ from repro.util.arrayops import (
     segment_min,
     segment_sum,
 )
+from repro.util.hashing import digest_arrays, stable_digest
 from repro.util.rng import as_generator, spawn_generators
 from repro.util.timing import Timer, timed
 from repro.util.validation import (
@@ -35,6 +36,8 @@ __all__ = [
     "segment_max",
     "segment_min",
     "segment_sum",
+    "digest_arrays",
+    "stable_digest",
     "as_generator",
     "spawn_generators",
     "Timer",

@@ -1,0 +1,50 @@
+"""Stable content hashing for cache keys.
+
+The plan store (:mod:`repro.planstore`) keys cached preprocessing results
+by the *content* of a matrix's sparsity pattern, so the digest here must be
+reproducible across processes, machines and Python hash seeds.  BLAKE2b is
+used because it is in the standard library, fast on large buffers and
+keyed digests make domain separation trivial.
+
+Only raw bytes enter the hash: integer arrays are normalised to
+little-endian ``int64`` before digesting, so the digest never depends on
+the host byte order or on whatever dtype the caller happened to hold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["stable_digest", "digest_arrays"]
+
+#: Digest size in bytes (32 hex chars — plenty for cache-key collision
+#: resistance while keeping file names short).
+_DIGEST_SIZE = 16
+
+
+def stable_digest(*parts: bytes) -> str:
+    """Hex BLAKE2b digest of the concatenation of byte strings.
+
+    Each part is length-prefixed before hashing so ``(b"ab", b"c")`` and
+    ``(b"a", b"bc")`` produce different digests.
+    """
+    h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    for part in parts:
+        h.update(len(part).to_bytes(8, "little"))
+        h.update(part)
+    return h.hexdigest()
+
+
+def digest_arrays(*arrays: np.ndarray) -> str:
+    """Hex digest of integer arrays, independent of dtype and endianness.
+
+    Every array is converted to contiguous little-endian ``int64`` first;
+    use this for index structures (``rowptr``/``colidx``), not for floats.
+    """
+    parts = []
+    for arr in arrays:
+        norm = np.ascontiguousarray(arr, dtype=np.int64)
+        parts.append(norm.astype("<i8", copy=False).tobytes())
+    return stable_digest(*parts)

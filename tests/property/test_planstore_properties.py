@@ -1,0 +1,156 @@
+"""Hypothesis property tests for the plan-store fingerprint.
+
+The fingerprint's contract is exactly the cache's soundness argument:
+
+* equal patterns => equal keys, whatever the ``values`` (and whatever
+  dtype the values arrived in);
+* any structural change — one non-zero moved or added, a shape change —
+  => a different key;
+* any config change => a different key.
+"""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.planstore import config_fingerprint, pattern_fingerprint, plan_key
+from repro.reorder import ReorderConfig
+from repro.sparse import CSRMatrix
+
+from test_sparse_properties import csr_matrices
+
+CFG = ReorderConfig()
+
+
+def _rebuild_with_values(csr, values):
+    return CSRMatrix(csr.shape, csr.rowptr, csr.colidx, values)
+
+
+class TestValuesIndependence:
+    @given(
+        csr_matrices(),
+        st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=60)
+    def test_equal_patterns_equal_keys_regardless_of_values(self, csr, fill):
+        other = _rebuild_with_values(
+            csr, np.full(csr.nnz, fill if fill != 0.0 else 1.0)
+        )
+        assert pattern_fingerprint(csr) == pattern_fingerprint(other)
+        assert plan_key(csr, CFG) == plan_key(other, CFG)
+
+    @given(csr_matrices())
+    @settings(max_examples=60)
+    def test_key_stable_across_values_dtype(self, csr):
+        """float32 / int32 / float64 values all hash to the same key."""
+        base = pattern_fingerprint(csr)
+        for dtype in (np.float32, np.int32, np.float16):
+            cast = CSRMatrix.from_arrays(
+                csr.shape,
+                csr.rowptr,
+                csr.colidx,
+                np.ones(csr.nnz, dtype=dtype),
+            )
+            assert pattern_fingerprint(cast) == base
+
+    @given(csr_matrices())
+    @settings(max_examples=60)
+    def test_fingerprint_is_deterministic(self, csr):
+        assert pattern_fingerprint(csr) == pattern_fingerprint(csr.copy())
+
+
+@st.composite
+def matrices_with_spare_slot(draw):
+    """A CSR matrix plus coordinates of one currently-zero cell.
+
+    Normalised to the pattern matrix (all values 1) so dense round-trips
+    below preserve the stored structure exactly; the fingerprint ignores
+    values anyway.
+    """
+    csr = draw(csr_matrices(max_dim=10, max_nnz=30)).pattern()
+    dense = csr.to_dense() != 0
+    free = np.argwhere(~dense)
+    if free.size == 0:  # fully dense: grow a column instead
+        csr = CSRMatrix.from_dense(
+            np.hstack([csr.to_dense(), np.zeros((csr.n_rows, 1))])
+        )
+        free = np.array([[0, csr.n_cols - 1]])
+    idx = draw(st.integers(0, len(free) - 1))
+    return csr, int(free[idx][0]), int(free[idx][1])
+
+
+class TestStructuralSensitivity:
+    @given(matrices_with_spare_slot())
+    @settings(max_examples=60)
+    def test_adding_one_nonzero_changes_key(self, case):
+        csr, r, c = case
+        dense = csr.to_dense()
+        dense[r, c] = 1.0
+        grown = CSRMatrix.from_dense(dense)
+        assert grown.nnz == csr.nnz + 1
+        assert pattern_fingerprint(grown) != pattern_fingerprint(csr)
+        assert plan_key(grown, CFG) != plan_key(csr, CFG)
+
+    @given(matrices_with_spare_slot())
+    @settings(max_examples=60)
+    def test_moving_one_nonzero_changes_key(self, case):
+        csr, r, c = case
+        dense = csr.to_dense()
+        occupied = np.argwhere(dense != 0)
+        if len(occupied) == 0:
+            return  # nothing to move in an empty matrix
+        src = occupied[0]
+        moved = dense.copy()
+        moved[r, c] = moved[src[0], src[1]]
+        moved[src[0], src[1]] = 0.0
+        other = CSRMatrix.from_dense(moved)
+        assert other.nnz == csr.nnz
+        assert pattern_fingerprint(other) != pattern_fingerprint(csr)
+
+    @given(csr_matrices(max_dim=8, max_nnz=20))
+    @settings(max_examples=40)
+    def test_padding_shape_changes_key(self, csr):
+        """Same nonzero coordinates inside a larger frame is a different
+        pattern (the trailing empty rows/cols are real structure)."""
+        padded = CSRMatrix.from_arrays(
+            (csr.n_rows + 1, csr.n_cols + 1),
+            np.append(csr.rowptr, csr.rowptr[-1]),
+            csr.colidx,
+            csr.values,
+        )
+        assert pattern_fingerprint(padded) != pattern_fingerprint(csr)
+
+
+#: ReorderConfig single-field perturbations that must each change the key.
+_CONFIG_TWEAKS = [
+    {"siglen": 64},
+    {"bsize": 4},
+    {"threshold_size": 128},
+    {"panel_height": 32},
+    {"dense_threshold": 3},
+    {"max_dense_cols": 7},
+    {"dense_ratio_skip": 0.2},
+    {"avg_sim_skip": 0.2},
+    {"lsh_seed": 1},
+    {"bucket_cap": 32},
+    {"measure": "overlap"},
+    {"force_round1": True},
+    {"force_round2": False},
+]
+
+
+class TestConfigSensitivity:
+    @given(csr_matrices(max_dim=8, max_nnz=20), st.sampled_from(_CONFIG_TWEAKS))
+    @settings(max_examples=40)
+    def test_any_config_field_change_changes_key(self, csr, tweak):
+        other = dataclasses.replace(CFG, **tweak)
+        assert config_fingerprint(other) != config_fingerprint(CFG)
+        assert plan_key(csr, other) != plan_key(csr, CFG)
+
+    def test_config_fingerprint_independent_of_instance(self):
+        assert config_fingerprint(ReorderConfig()) == config_fingerprint(
+            ReorderConfig()
+        )

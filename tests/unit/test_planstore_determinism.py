@@ -1,0 +1,97 @@
+"""Determinism regression tests.
+
+The plan store is only sound if the pipeline is a pure function of
+(pattern, config): the same matrix and seed must give byte-identical
+permutations and fingerprints in *any* process — different Python hash
+seeds included — and the parallel batch front end must reproduce the
+serial output exactly.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+
+from repro.datasets import bipartite_ratings, hidden_clusters, rmat
+from repro.planstore import build_plans, pattern_fingerprint, plan_key
+from repro.reorder import ReorderConfig, build_plan
+
+CFG = ReorderConfig(siglen=32, panel_height=8)
+
+#: Script run in fresh interpreters: builds the canonical test plan and
+#: prints (plan key, pattern fingerprint, digests of both permutations).
+_CHILD_SCRIPT = """
+import hashlib
+from repro.datasets import hidden_clusters
+from repro.planstore import pattern_fingerprint, plan_key
+from repro.reorder import ReorderConfig, build_plan
+
+m = hidden_clusters(16, 8, 256, 8, noise=0.1, seed=7)
+cfg = ReorderConfig(siglen=32, panel_height=8)
+plan = build_plan(m, cfg)
+print(plan_key(m, cfg))
+print(pattern_fingerprint(m))
+print(hashlib.blake2b(plan.row_order.tobytes()).hexdigest())
+print(hashlib.blake2b(plan.remainder_order.tobytes()).hexdigest())
+"""
+
+
+def _run_child(hash_seed: str) -> list[str]:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return out.stdout.strip().splitlines()
+
+
+class TestCrossProcessDeterminism:
+    def test_two_fresh_processes_agree_bit_for_bit(self):
+        """Same matrix + same seed => identical permutations and
+        fingerprints across two fresh processes with *different* Python
+        hash seeds (so nothing leaks through dict/set ordering)."""
+        a = _run_child("0")
+        b = _run_child("1")
+        assert a == b
+        assert len(a) == 4 and all(line for line in a)
+
+    def test_parent_process_agrees_with_children(self):
+        m = hidden_clusters(16, 8, 256, 8, noise=0.1, seed=7)
+        child = _run_child("0")
+        assert child[0] == plan_key(m, CFG)
+        assert child[1] == pattern_fingerprint(m)
+
+
+class TestParallelMatchesSerial:
+    def test_build_plans_workers4_identical_to_serial(self):
+        matrices = [
+            hidden_clusters(16, 8, 256, 8, noise=0.1, seed=7),
+            rmat(8, 8, seed=1),
+            bipartite_ratings(200, 150, 10, seed=2),
+            hidden_clusters(8, 4, 64, 6, noise=0.0, seed=3),
+        ]
+        serial = [build_plan(m, CFG) for m in matrices]
+        results = build_plans(matrices, CFG, workers=4)
+        assert all(r.ok for r in results)
+        for got, want in zip(results, serial):
+            np.testing.assert_array_equal(got.plan.row_order, want.row_order)
+            np.testing.assert_array_equal(
+                got.plan.remainder_order, want.remainder_order
+            )
+            assert got.plan.stats == want.stats
+            assert got.plan.tiled.sparse_part.same_pattern(
+                want.tiled.sparse_part
+            )
+
+    def test_repeated_serial_builds_identical(self):
+        m = rmat(8, 8, seed=5)
+        p1, p2 = build_plan(m, CFG), build_plan(m, CFG)
+        assert p1.row_order.tobytes() == p2.row_order.tobytes()
+        assert p1.remainder_order.tobytes() == p2.remainder_order.tobytes()

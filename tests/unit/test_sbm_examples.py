@@ -56,6 +56,7 @@ class TestStochasticBlockModel:
         "examples/collaborative_filtering.py",
         "examples/reordering_analysis.py",
         "examples/streaming_updates.py",
+        "examples/plan_caching.py",
     ],
 )
 def test_example_runs(script, capsys, monkeypatch):
