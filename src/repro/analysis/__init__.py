@@ -1,0 +1,39 @@
+"""reprolint — codebase-specific static analysis for the repro library.
+
+An AST-based lint pass enforcing the invariants this reproduction's
+results depend on but Python cannot type-check: bit-deterministic
+reordering (RD1xx), numerically safe index/value handling (RD2xx), and
+library hygiene (RD3xx).  Configured through ``[tool.reprolint]`` in
+``pyproject.toml``; individual findings are silenced inline with
+``# reprolint: disable=RD103 -- justification``.
+
+Run it as ``repro lint src/ tests/`` or ``python -m repro.analysis``;
+programmatic use::
+
+    from repro.analysis import lint_paths, load_config
+    findings = lint_paths(["src"], load_config())
+
+The runtime complement is :mod:`repro.contracts`, which executes the same
+``validate()`` / ``check_*`` machinery at function boundaries when
+``REPRO_CONTRACTS=1``.
+"""
+
+from repro.analysis.config import DEFAULT_SCOPES, LintConfig, load_config
+from repro.analysis.core import REGISTRY, Finding, Rule, all_rules
+from repro.analysis.report import render_json, render_text
+from repro.analysis.runner import lint_file, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "REGISTRY",
+    "all_rules",
+    "LintConfig",
+    "DEFAULT_SCOPES",
+    "load_config",
+    "lint_paths",
+    "lint_file",
+    "lint_source",
+    "render_text",
+    "render_json",
+]

@@ -1,0 +1,91 @@
+"""reprolint command-line front end.
+
+Reached two ways with identical semantics::
+
+    repro lint src/ tests/ [--format json] [--select RD101,RD103] ...
+    python -m repro.analysis src/ tests/ ...
+
+Exit codes: 0 clean, 1 findings reported, and the shared
+:mod:`repro.errors` codes for usage/configuration problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.config import load_config
+from repro.analysis.report import render_json, render_rule_list, render_text
+from repro.analysis.runner import lint_paths
+from repro.errors import EXIT_FAILURE, EXIT_OK
+
+__all__ = ["build_parser", "run_lint", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``reprolint`` argument parser (shared with ``repro lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="codebase-specific static analysis: determinism, "
+        "numerical safety, hygiene (rule codes RD1xx/RD2xx/RD3xx)",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options onto ``parser`` (reused by ``repro lint``)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES", default=None,
+        help="comma-separated rule codes to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES", default=None,
+        help="comma-separated rule codes to skip (adds to pyproject ignore)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule registry and exit",
+    )
+
+
+def _split_codes(raw: str | None):
+    if raw is None:
+        return None
+    return frozenset(code.strip() for code in raw.split(",") if code.strip())
+
+
+def run_lint(args) -> int:
+    """Execute a lint run from parsed arguments; returns the exit code."""
+    if args.list_rules:
+        print(render_rule_list())
+        return EXIT_OK
+    config = load_config()
+    selected = _split_codes(args.select)
+    if selected is not None:
+        config.select = selected
+    extra_ignore = _split_codes(args.ignore)
+    if extra_ignore is not None:
+        config.ignore = config.ignore | extra_ignore
+    findings = lint_paths(args.paths, config)
+    render = render_json if args.format == "json" else render_text
+    print(render(findings))
+    return EXIT_FAILURE if findings else EXIT_OK
+
+
+def main(argv=None) -> int:
+    """``python -m repro.analysis`` entry point."""
+    args = build_parser().parse_args(argv)
+    return run_lint(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""reprolint reporters: text and JSON renderings of a findings list.
+
+Both reporters return strings (the CLI layer prints them) and both are
+deterministic: findings are emitted in ``(path, line, col, code)`` order
+and the JSON layout is fixed, so reports diff cleanly and snapshot tests
+stay stable.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.analysis.core import Finding, all_rules
+
+__all__ = ["render_text", "render_json", "render_rule_list"]
+
+#: Schema version stamped into JSON reports.
+JSON_VERSION = 1
+
+
+def render_text(findings) -> str:
+    """Flake8-style one-line-per-finding report with a count summary."""
+    findings = sorted(findings)
+    lines = [f.render() for f in findings]
+    if findings:
+        by_code = Counter(f.code for f in findings)
+        breakdown = ", ".join(f"{code}×{n}" for code, n in sorted(by_code.items()))
+        lines.append("")
+        lines.append(
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''} ({breakdown})"
+        )
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings) -> str:
+    """Machine-readable report: ``{version, summary, findings}``."""
+    findings = sorted(findings)
+    payload = {
+        "version": JSON_VERSION,
+        "summary": {
+            "total": len(findings),
+            "by_code": dict(sorted(Counter(f.code for f in findings).items())),
+        },
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(payload, indent=1, sort_keys=False)
+
+
+def render_rule_list() -> str:
+    """Registry listing for ``--list-rules``: code, name, summary."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.code}  {rule.name}")
+        lines.append(f"       {rule.summary}")
+    return "\n".join(lines)

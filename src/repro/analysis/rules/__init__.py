@@ -1,0 +1,13 @@
+"""The reprolint rule set.
+
+Importing this package registers every rule into
+:data:`repro.analysis.core.REGISTRY`.  Rules are grouped by code band:
+
+* :mod:`repro.analysis.rules.determinism` — RD1xx
+* :mod:`repro.analysis.rules.numerical` — RD2xx
+* :mod:`repro.analysis.rules.hygiene` — RD3xx
+"""
+
+from repro.analysis.rules import determinism, hygiene, numerical
+
+__all__ = ["determinism", "numerical", "hygiene"]

@@ -1,0 +1,203 @@
+"""RD2xx — numerical-safety rules.
+
+The plan-store work demonstrated two silent data-corruption modes this
+band guards against: column indices truncated by a narrowing ``astype``
+and float comparisons that are exact by accident.  RD203 additionally
+enforces the project contract that public entry points of the sparse
+layers validate their operands (directly via ``check_*`` / ``validate()``
+or through a :func:`repro.contracts.checked` decorator).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import FileContext, Rule, register
+
+__all__ = [
+    "FloatEqualityRule",
+    "IndexNarrowingRule",
+    "UncheckedEntryPointRule",
+]
+
+#: Integer dtypes narrower than the library's canonical int64 indices.
+_NARROW_INTS = {
+    "int8", "int16", "int32", "uint8", "uint16", "uint32",
+    "intc", "short", "byte", "ubyte", "ushort", "uintc",
+}
+
+#: Parameter names treated as sparse/array operands by RD203.
+_OPERAND_PARAMS = {
+    "csr", "csc", "coo", "matrix", "mat", "mats", "matrices",
+    "perm", "order", "tiled", "panels", "X", "Y", "x", "dense",
+}
+
+
+def _float_constant(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, float)
+    )
+
+
+@register
+class FloatEqualityRule(Rule):
+    """RD201: ``==`` / ``!=`` against a float literal."""
+
+    code = "RD201"
+    name = "float-equality"
+    summary = (
+        "exact == / != comparison with a float literal; use math.isclose / "
+        "np.isclose or an integer sentinel"
+    )
+
+    def visit(self, ctx: FileContext):
+        """Flag equality comparisons where any operand is a float literal."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, right in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if any(_float_constant(o) for o in (node.left, right)):
+                    yield ctx.finding(
+                        node, self.code,
+                        "exact float comparison; prefer math.isclose / "
+                        "np.isclose (or an integer/None sentinel)",
+                    )
+                    break
+            del operands
+
+
+@register
+class IndexNarrowingRule(Rule):
+    """RD202: ``astype`` to an integer dtype narrower than int64.
+
+    Column indices and row pointers are int64 by invariant; a narrowing
+    cast silently wraps on matrices past 2³¹ non-zeros.
+    """
+
+    code = "RD202"
+    name = "index-narrowing-astype"
+    summary = (
+        "astype to a sub-int64 integer dtype can silently truncate indices; "
+        "keep indices int64 or bounds-check first"
+    )
+
+    @staticmethod
+    def _names_narrow_dtype(node: ast.AST) -> str | None:
+        if isinstance(node, ast.Attribute) and node.attr in _NARROW_INTS:
+            return node.attr
+        if isinstance(node, ast.Name) and node.id in _NARROW_INTS:
+            return node.id
+        if isinstance(node, ast.Constant) and node.value in _NARROW_INTS:
+            return str(node.value)
+        return None
+
+    def visit(self, ctx: FileContext):
+        """Flag ``x.astype(<narrow int dtype>)`` calls."""
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+            ):
+                continue
+            targets = list(node.args[:1]) + [
+                kw.value for kw in node.keywords if kw.arg == "dtype"
+            ]
+            for target in targets:
+                dtype = self._names_narrow_dtype(target)
+                if dtype is not None:
+                    yield ctx.finding(
+                        node, self.code,
+                        f"astype({dtype}) narrows below int64 and can "
+                        "silently truncate index values",
+                    )
+                    break
+
+
+@register
+class UncheckedEntryPointRule(Rule):
+    """RD203: public sparse entry point without operand validation.
+
+    Applies to module-level public functions of the scoped packages whose
+    parameters include a recognised operand name (``csr``, ``perm``,
+    ``X``, …).  Each such parameter must be argument to a ``check_*`` call,
+    receiver of a ``.validate()`` call, or the function must carry a
+    ``@checked(...)`` contract decorator.
+    """
+
+    code = "RD203"
+    name = "unchecked-entry-point"
+    summary = (
+        "public entry point takes a sparse/dense operand but neither "
+        "check_*-validates it nor carries a @checked contract"
+    )
+    scope_key = "entrypoint-paths"
+
+    @staticmethod
+    def _has_checked_decorator(fn: ast.FunctionDef) -> bool:
+        for deco in fn.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            if isinstance(target, ast.Name) and target.id == "checked":
+                return True
+            if isinstance(target, ast.Attribute) and target.attr == "checked":
+                return True
+        return False
+
+    @staticmethod
+    def _validated_names(fn: ast.FunctionDef) -> set:
+        """Names passed to ``check_*`` calls or receiving ``.validate()``."""
+        names: set = set()
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id.startswith("check_"):
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if isinstance(arg, ast.Name):
+                        names.add(arg.id)
+                    elif isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                        names.add(arg.value)
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "validate"
+                and isinstance(func.value, ast.Name)
+            ):
+                names.add(func.value.id)
+        return names
+
+    def visit(self, ctx: FileContext):
+        """Flag unvalidated operand parameters of public entry points."""
+        module = ctx.tree
+        if not isinstance(module, ast.Module):
+            return
+        for stmt in module.body:
+            if not isinstance(stmt, ast.FunctionDef) or stmt.name.startswith("_"):
+                continue
+            params = [
+                a.arg
+                for a in (
+                    stmt.args.posonlyargs + stmt.args.args + stmt.args.kwonlyargs
+                )
+            ]
+            operands = [p for p in params if p in _OPERAND_PARAMS]
+            if not operands:
+                continue
+            if self._has_checked_decorator(stmt):
+                continue
+            validated = self._validated_names(stmt)
+            for param in operands:
+                if param not in validated:
+                    yield ctx.finding(
+                        stmt, self.code,
+                        f"public entry point {stmt.name}() does not validate "
+                        f"operand {param!r}; add @checked(validates({param!r})) "
+                        "or a check_* call",
+                    )

@@ -1,0 +1,124 @@
+"""The reprolint driver: file discovery, rule dispatch, filtering.
+
+:func:`lint_paths` is the high-level entry point used by ``repro lint``
+and ``python -m repro.analysis``; :func:`lint_source` lints one in-memory
+source string (the unit tests' workhorse).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis import rules as _rules  # noqa: F401 — registers the rule set
+from repro.analysis.config import LintConfig, path_matches
+from repro.analysis.core import PARSE_ERROR_CODE, REGISTRY, FileContext, Finding
+from repro.analysis.suppressions import collect_suppressions
+from repro.errors import ValidationError
+
+__all__ = ["lint_paths", "lint_file", "lint_source", "iter_python_files", "module_rel"]
+
+
+def module_rel(path: Path, root: Path) -> str:
+    """Package-relative posix path used for rule scoping.
+
+    Files inside the ``repro`` package are addressed from the package root
+    (``repro/kernels/spmm.py`` regardless of src-layout); anything else
+    falls back to the lint-root-relative path.
+    """
+    parts = path.resolve().parts
+    if "repro" in parts:
+        index = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[index:])
+    return display_rel(path, root)
+
+
+def display_rel(path: Path, root: Path) -> str:
+    """Lint-root-relative posix path used in reports (absolute as fallback)."""
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(Path(root).resolve()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def iter_python_files(paths, config: LintConfig):
+    """Yield the ``.py`` files under ``paths``, honouring ``exclude``."""
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise ValidationError(f"lint path does not exist: {raw}")
+        candidates = (
+            sorted(p for p in path.rglob("*.py") if "__pycache__" not in p.parts)
+            if path.is_dir()
+            else [path]
+        )
+        for candidate in candidates:
+            if not path_matches(display_rel(candidate, config.root), config.exclude):
+                yield candidate
+
+
+def lint_source(
+    source: str,
+    *,
+    display: str,
+    config: LintConfig,
+    module_path: str | None = None,
+) -> list[Finding]:
+    """Lint one source string; ``module_path`` overrides rule scoping."""
+    rel = module_path if module_path is not None else display
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=PARSE_ERROR_CODE,
+                message=f"file could not be parsed: {exc.msg}",
+            )
+        ]
+    lines = source.splitlines()
+    ctx = FileContext(
+        display=display, module_rel=rel, tree=tree, lines=lines, config=config
+    )
+    suppressions = collect_suppressions(lines)
+
+    findings: list[Finding] = []
+    for code in sorted(REGISTRY):
+        rule = REGISTRY[code]
+        if not config.code_enabled(code) or config.ignored_at(display, code):
+            continue
+        if rule.scope_key and not path_matches(rel, config.scope(rule.scope_key)):
+            continue
+        if rule.exempt_key and path_matches(rel, config.scope(rule.exempt_key)):
+            continue
+        for finding in rule.visit(ctx):
+            suppression = suppressions.get(finding.line)
+            if suppression is not None and finding.code in suppression.codes:
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def lint_file(path, config: LintConfig) -> list[Finding]:
+    """Lint one file on disk."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(
+        source,
+        display=display_rel(path, config.root),
+        config=config,
+        module_path=module_rel(path, config.root),
+    )
+
+
+def lint_paths(paths, config: LintConfig | None = None) -> list[Finding]:
+    """Lint files/directories and return all findings, sorted and stable."""
+    if config is None:
+        config = LintConfig()
+    findings: list[Finding] = []
+    for path in iter_python_files(paths, config):
+        findings.extend(lint_file(path, config))
+    return sorted(findings)

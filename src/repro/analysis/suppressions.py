@@ -1,0 +1,52 @@
+"""Inline suppression comments.
+
+A finding is suppressed by a trailing comment on its line::
+
+    x = frozen_set_iteration()  # reprolint: disable=RD103 -- order irrelevant here
+
+Multiple codes are comma-separated (``disable=RD103,RD201``).  Everything
+after ``--`` is the *justification*; the project convention (enforced in
+review, surfaced by :func:`unjustified`) is that every suppression carries
+one.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Suppression", "collect_suppressions", "unjustified"]
+
+_PATTERN = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<codes>[A-Z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline suppression: the codes disabled on a line and its reason."""
+
+    line: int  #: 1-based line number the suppression applies to
+    codes: frozenset  #: rule codes disabled on that line
+    justification: str  #: text after ``--`` (empty when absent)
+
+
+def collect_suppressions(lines) -> dict[int, Suppression]:
+    """Parse ``lines`` (raw source) into a line-number -> suppression map."""
+    out: dict[int, Suppression] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _PATTERN.search(text)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip() for code in match.group("codes").split(",") if code.strip()
+        )
+        if codes:
+            out[number] = Suppression(number, codes, match.group("why") or "")
+    return out
+
+
+def unjustified(suppressions: dict[int, Suppression]) -> list[Suppression]:
+    """The suppressions lacking a ``-- justification`` clause."""
+    return [s for s in suppressions.values() if not s.justification]

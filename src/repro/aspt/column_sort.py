@@ -14,12 +14,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aspt.panels import PanelSpec
+from repro.contracts import checked, validates
 from repro.sparse.csr import CSRMatrix
 from repro.util.validation import check_positive
 
 __all__ = ["panel_column_orders"]
 
 
+@checked(validates("csr"))
 def panel_column_orders(csr: CSRMatrix, panel_height: int) -> list[np.ndarray]:
     """Column permutation of each panel.
 

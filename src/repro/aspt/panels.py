@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.contracts import checked, validates
 from repro.sparse.csr import CSRMatrix
 from repro.util.validation import check_positive
 
@@ -72,6 +73,7 @@ def panel_of_rows(rows: np.ndarray, panel_height: int) -> np.ndarray:
     return np.asarray(rows, dtype=np.int64) // panel_height
 
 
+@checked(validates("csr"))
 def split_into_panels(csr: CSRMatrix, panel_height: int) -> list[CSRMatrix]:
     """Materialise each panel as its own CSR sub-matrix.
 

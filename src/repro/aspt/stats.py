@@ -15,6 +15,7 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from repro.aspt.tiles import TiledMatrix, tile_matrix
+from repro.contracts import checked, invokes, validates
 from repro.sparse.csr import CSRMatrix
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
 ]
 
 
+@checked(validates("csr"))
 def dense_ratio(
     csr: CSRMatrix, panel_height: int, dense_threshold: int = 2
 ) -> float:
@@ -54,6 +56,7 @@ class TilingStats:
         return asdict(self)
 
 
+@checked(invokes("validate_structure", "tiled"))
 def tiling_stats(tiled: TiledMatrix) -> TilingStats:
     """Compute a :class:`TilingStats` from a finished split."""
     sizes = np.array([c.size for c in tiled.panel_dense_cols], dtype=np.int64)
@@ -69,6 +72,7 @@ def tiling_stats(tiled: TiledMatrix) -> TilingStats:
     )
 
 
+@checked(invokes("validate_structure", "tiled"))
 def panel_dense_column_histogram(tiled: TiledMatrix) -> np.ndarray:
     """Histogram of dense-column counts across panels.
 

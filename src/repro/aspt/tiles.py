@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.aspt.panels import PanelSpec
+from repro.contracts import checked, validates
 from repro.sparse.csr import CSRMatrix
 from repro.util.arrayops import counts_to_offsets
 from repro.util.validation import check_positive
@@ -83,11 +84,34 @@ class TiledMatrix:
         Equals the number of shared-memory row preloads per K-chunk."""
         return int(sum(cols.size for cols in self.panel_dense_cols))
 
+    def validate_structure(self) -> None:
+        """Cheap invariant check: shapes, canonical parts, nnz accounting.
+
+        Unlike :meth:`validate` this never materialises dense arrays, so it
+        is safe as a per-call contract (:mod:`repro.contracts`).
+        """
+        from repro.errors import FormatError
+
+        if self.dense_part.shape != self.original.shape:
+            raise FormatError("dense_part shape differs from original")
+        if self.sparse_part.shape != self.original.shape:
+            raise FormatError("sparse_part shape differs from original")
+        if self.nnz_dense + self.nnz_sparse != self.original.nnz:
+            raise FormatError(
+                f"tile partition loses non-zeros: {self.nnz_dense} dense + "
+                f"{self.nnz_sparse} sparse != {self.original.nnz}"
+            )
+        if len(self.panel_dense_cols) != self.spec.n_panels:
+            raise FormatError(
+                f"panel_dense_cols has {len(self.panel_dense_cols)} entries "
+                f"for {self.spec.n_panels} panels"
+            )
+        self.dense_part.validate()
+        self.sparse_part.validate()
+
     def validate(self) -> None:
         """Cross-check the partition invariants (test/diagnostic helper)."""
-        assert self.dense_part.shape == self.original.shape
-        assert self.sparse_part.shape == self.original.shape
-        assert self.nnz_dense + self.nnz_sparse == self.original.nnz
+        self.validate_structure()
         recombined = self.dense_part.to_dense() + self.sparse_part.to_dense()
         np.testing.assert_allclose(recombined, self.original.to_dense())
 
@@ -104,6 +128,7 @@ def _split_by_mask(csr: CSRMatrix, keep: np.ndarray) -> CSRMatrix:
     return CSRMatrix(csr.shape, rowptr, csr.colidx[keep], csr.values[keep])
 
 
+@checked(validates("csr"))
 def tile_matrix(
     csr: CSRMatrix,
     panel_height: int,

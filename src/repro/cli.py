@@ -11,10 +11,16 @@ Subcommands::
     repro plan      a.mtx b.mtx --cache-dir DIR --workers 4  # batched plan builds
     repro autotune  --mtx in.mtx [--k 512] [--op spmm]  # trial-and-error verdict
     repro report    --records results.json --out EXPERIMENTS.md
+    repro lint      src/ tests/ [--format json]      # reprolint static analysis
     repro generators
 
 ``repro run`` executes the corpus experiment and writes the JSON records
 every other subcommand consumes; see DESIGN.md for the experiment index.
+
+Handlers are registered with :func:`cli_handler`, which lets :func:`main`
+route every :class:`repro.errors.ReproError` (and ``OSError``) through the
+structured exit-code table in :mod:`repro.errors` instead of surfacing a
+raw traceback — enforced by reprolint rule RD304.
 """
 
 from __future__ import annotations
@@ -22,7 +28,27 @@ from __future__ import annotations
 import argparse
 import sys
 
-__all__ = ["main", "build_parser"]
+from repro.errors import EXIT_IO, ReproError, exit_code_for, format_cli_error
+
+__all__ = ["main", "build_parser", "cli_handler"]
+
+#: Registered subcommand handlers: command name -> handler(args) -> int.
+_HANDLERS: dict = {}
+
+
+def cli_handler(name: str):
+    """Decorator registering a CLI handler under its subcommand name.
+
+    Registration is what routes the handler's errors through the
+    :mod:`repro.errors` exit-code table in :func:`main`; reprolint rule
+    RD304 flags ``_cmd_*`` functions that skip it.
+    """
+
+    def register(fn):
+        _HANDLERS[name] = fn
+        return fn
+
+    return register
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -122,10 +148,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a self-contained HTML report with embedded figures",
     )
 
+    lint = sub.add_parser(
+        "lint", help="run the reprolint static-analysis pass (rules RD1xx-RD3xx)"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+
     sub.add_parser("generators", help="list dataset generators")
     return p
 
 
+@cli_handler("corpus")
 def _cmd_corpus(args) -> int:
     from repro.datasets import build_corpus, corpus_summary
 
@@ -141,6 +175,7 @@ def _cmd_corpus(args) -> int:
     return 0
 
 
+@cli_handler("run")
 def _cmd_run(args) -> int:
     from repro.experiments import ExperimentConfig, run_experiment, save_records
     from repro.reorder import ReorderConfig
@@ -165,6 +200,7 @@ def _cmd_run(args) -> int:
     return 0
 
 
+@cli_handler("table")
 def _cmd_table(args) -> int:
     from repro.experiments import load_records
     from repro.experiments.tables import (
@@ -198,6 +234,7 @@ def _cmd_table(args) -> int:
     return 0
 
 
+@cli_handler("figure")
 def _cmd_figure(args) -> int:
     from repro.experiments import (
         fig8_speedup_histogram,
@@ -234,6 +271,7 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+@cli_handler("metis")
 def _cmd_metis(args) -> int:
     from repro.datasets import build_corpus
     from repro.experiments import metis_comparison
@@ -244,6 +282,7 @@ def _cmd_metis(args) -> int:
     return 0
 
 
+@cli_handler("reorder")
 def _cmd_reorder(args) -> int:
     from repro.reorder import ReorderConfig, build_plan
     from repro.sparse import permute_csr_rows, read_matrix_market, write_matrix_market
@@ -264,6 +303,7 @@ def _cmd_reorder(args) -> int:
     return 0
 
 
+@cli_handler("plan")
 def _cmd_plan(args) -> int:
     from pathlib import Path
 
@@ -309,6 +349,7 @@ def _cmd_plan(args) -> int:
     return 1 if failures else 0
 
 
+@cli_handler("autotune")
 def _cmd_autotune(args) -> int:
     from repro.reorder import ReorderConfig, autotune
     from repro.sparse import read_matrix_market
@@ -330,6 +371,7 @@ def _cmd_autotune(args) -> int:
     return 0
 
 
+@cli_handler("report")
 def _cmd_report(args) -> int:
     from repro.experiments import load_records, render_experiments_markdown
 
@@ -347,6 +389,7 @@ def _cmd_report(args) -> int:
     return 0
 
 
+@cli_handler("generators")
 def _cmd_generators(_args) -> int:
     from repro.datasets import list_generators
 
@@ -355,22 +398,30 @@ def _cmd_generators(_args) -> int:
     return 0
 
 
+@cli_handler("lint")
+def _cmd_lint(args) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def main(argv=None) -> int:
-    """CLI entry point (returns a process exit code)."""
+    """CLI entry point (returns a process exit code).
+
+    Library and filesystem errors are reported as one structured line on
+    stderr and mapped to the :mod:`repro.errors` exit codes instead of
+    escaping as tracebacks.
+    """
     args = build_parser().parse_args(argv)
-    handler = {
-        "corpus": _cmd_corpus,
-        "run": _cmd_run,
-        "table": _cmd_table,
-        "figure": _cmd_figure,
-        "metis": _cmd_metis,
-        "reorder": _cmd_reorder,
-        "plan": _cmd_plan,
-        "autotune": _cmd_autotune,
-        "report": _cmd_report,
-        "generators": _cmd_generators,
-    }[args.command]
-    return handler(args)
+    handler = _HANDLERS[args.command]
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(format_cli_error(args.command, exc), file=sys.stderr)
+        return exit_code_for(exc)
+    except OSError as exc:
+        print(format_cli_error(args.command, exc), file=sys.stderr)
+        return EXIT_IO
 
 
 if __name__ == "__main__":  # pragma: no cover

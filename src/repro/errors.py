@@ -16,6 +16,13 @@ __all__ = [
     "ConfigError",
     "SimulationError",
     "DatasetError",
+    "EXIT_OK",
+    "EXIT_FAILURE",
+    "EXIT_USAGE",
+    "EXIT_DATA",
+    "EXIT_IO",
+    "exit_code_for",
+    "format_cli_error",
 ]
 
 
@@ -50,3 +57,43 @@ class SimulationError(ReproError, RuntimeError):
 
 class DatasetError(ReproError, RuntimeError):
     """A dataset generator or corpus entry could not produce a matrix."""
+
+
+# ----------------------------------------------------------------------
+# CLI exit-code mapping
+# ----------------------------------------------------------------------
+# The ``repro`` CLI routes every library error through this table so that
+# scripts can branch on *why* a command failed instead of parsing
+# tracebacks.  ``EXIT_USAGE`` matches argparse's own code for bad flags.
+
+EXIT_OK = 0  #: success
+EXIT_FAILURE = 1  #: generic failure (lint findings, per-item build failures)
+EXIT_USAGE = 2  #: bad argument values (ValidationError/ShapeError/ConfigError)
+EXIT_DATA = 3  #: malformed input data (FormatError/DatasetError)
+EXIT_IO = 4  #: filesystem/OS errors
+
+_EXIT_CODES: tuple[tuple[type, int], ...] = (
+    (ValidationError, EXIT_USAGE),
+    (ShapeError, EXIT_USAGE),
+    (ConfigError, EXIT_USAGE),
+    (FormatError, EXIT_DATA),
+    (DatasetError, EXIT_DATA),
+    (OSError, EXIT_IO),
+)
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Map an exception to the CLI exit code documented above.
+
+    Unrecognised :class:`ReproError` subclasses (and anything else) map to
+    :data:`EXIT_FAILURE`.
+    """
+    for exc_type, code in _EXIT_CODES:
+        if isinstance(exc, exc_type):
+            return code
+    return EXIT_FAILURE
+
+
+def format_cli_error(command: str, exc: BaseException) -> str:
+    """One-line structured error message for CLI stderr output."""
+    return f"repro {command}: error ({type(exc).__name__}): {exc}"

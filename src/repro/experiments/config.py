@@ -59,7 +59,7 @@ def scale_model(
     """
     if factor <= 0:
         raise ConfigError(f"scale factor must be > 0, got {factor}")
-    if factor == 1.0:
+    if factor == 1.0:  # reprolint: disable=RD201 -- sentinel check for the exact default, not an arithmetic comparison
         return device, cost
     scaled_device = device.with_overrides(
         l2_bytes=max(4096, int(device.l2_bytes / factor))

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aspt.tiles import TiledMatrix
+from repro.contracts import checked, invokes
 from repro.kernels.sddmm import sddmm
 from repro.sparse.csr import CSRMatrix
 from repro.util.validation import check_dense
@@ -34,6 +35,7 @@ def _nnz_positions_in_original(original: CSRMatrix, part: CSRMatrix) -> np.ndarr
     return pos.astype(np.int64)
 
 
+@checked(invokes("validate_structure", "tiled"))
 def sddmm_tiled(tiled: TiledMatrix, X: np.ndarray, Y: np.ndarray) -> CSRMatrix:
     """Two-phase ASpT SDDMM.
 
@@ -42,7 +44,8 @@ def sddmm_tiled(tiled: TiledMatrix, X: np.ndarray, Y: np.ndarray) -> CSRMatrix:
     tiled:
         Output of :func:`repro.aspt.tile_matrix`.
     X:
-        Dense operand of shape ``(n_cols, K)``.
+        Dense operand of shape ``(n_cols, K)``.  Floating dtypes are
+        preserved (no up-cast copy).
     Y:
         Dense operand of shape ``(n_rows, K)``.
 
@@ -52,8 +55,8 @@ def sddmm_tiled(tiled: TiledMatrix, X: np.ndarray, Y: np.ndarray) -> CSRMatrix:
         Same pattern as ``tiled.original`` with SDDMM values.
     """
     original = tiled.original
-    X = check_dense("X", X, rows=original.n_cols)
-    Y = check_dense("Y", Y, rows=original.n_rows, cols=X.shape[1])
+    X = check_dense("X", X, rows=original.n_cols, dtype=None)
+    Y = check_dense("Y", Y, rows=original.n_rows, cols=X.shape[1], dtype=None)
     out_values = np.zeros(original.nnz, dtype=np.float64)
 
     # Dense tiles: per-panel staged buffer.

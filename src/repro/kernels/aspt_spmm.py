@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aspt.tiles import TiledMatrix
+from repro.contracts import checked, invokes
 from repro.kernels.spmm import spmm
 from repro.sparse.csr import CSRMatrix
 from repro.util.validation import check_dense
@@ -52,6 +53,7 @@ def _panel_dense_spmm(
         out[lo + nonempty] += np.add.reduceat(products, starts, axis=0)
 
 
+@checked(invokes("validate_structure", "tiled"))
 def spmm_tiled(tiled: TiledMatrix, X: np.ndarray) -> np.ndarray:
     """Two-phase ASpT SpMM: dense tiles through panel buffers, remainder
     row-wise.
@@ -61,14 +63,15 @@ def spmm_tiled(tiled: TiledMatrix, X: np.ndarray) -> np.ndarray:
     tiled:
         Output of :func:`repro.aspt.tile_matrix`.
     X:
-        Dense operand of shape ``(n_cols, K)``.
+        Dense operand of shape ``(n_cols, K)``.  Floating dtypes are
+        preserved (no up-cast copy of a large ``K``-wide operand).
 
     Returns
     -------
     numpy.ndarray
         ``Y = tiled.original @ X`` of shape ``(n_rows, K)``.
     """
-    X = check_dense("X", X, rows=tiled.original.n_cols)
+    X = check_dense("X", X, rows=tiled.original.n_cols, dtype=None)
     Y = np.zeros((tiled.original.n_rows, X.shape[1]), dtype=np.float64)
     _panel_dense_spmm(
         tiled.dense_part, X, tiled.panel_dense_cols, tiled.spec.panel_height, Y

@@ -14,12 +14,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import checked, validates
 from repro.sparse.csr import CSRMatrix
 from repro.util.validation import check_dense
 
 __all__ = ["sddmm", "sddmm_rowwise_reference"]
 
 
+@checked(validates("csr"))
 def sddmm_rowwise_reference(csr: CSRMatrix, X: np.ndarray, Y: np.ndarray) -> CSRMatrix:
     """Paper Alg. 2, literal loops.  The oracle for :func:`sddmm`."""
     X = check_dense("X", X, rows=csr.n_cols)
@@ -36,6 +38,7 @@ def sddmm_rowwise_reference(csr: CSRMatrix, X: np.ndarray, Y: np.ndarray) -> CSR
     return csr.with_values(out)
 
 
+@checked(validates("csr"))
 def sddmm(csr: CSRMatrix, X: np.ndarray, Y: np.ndarray) -> CSRMatrix:
     """Vectorised SDDMM.
 
@@ -45,6 +48,7 @@ def sddmm(csr: CSRMatrix, X: np.ndarray, Y: np.ndarray) -> CSRMatrix:
         Sampling matrix ``S`` of shape ``(M, N)``.
     X:
         Dense operand of shape ``(N, K)`` (indexed by ``S``'s columns).
+        Floating dtypes are preserved (no up-cast copy).
     Y:
         Dense operand of shape ``(M, K)`` (indexed by ``S``'s rows).
 
@@ -54,8 +58,8 @@ def sddmm(csr: CSRMatrix, X: np.ndarray, Y: np.ndarray) -> CSRMatrix:
         Same pattern as ``csr`` with values
         ``(Y[i] . X[c]) * csr.value`` per stored entry.
     """
-    X = check_dense("X", X, rows=csr.n_cols)
-    Y = check_dense("Y", Y, rows=csr.n_rows, cols=X.shape[1])
+    X = check_dense("X", X, rows=csr.n_cols, dtype=None)
+    Y = check_dense("Y", Y, rows=csr.n_rows, cols=X.shape[1], dtype=None)
     if csr.nnz == 0:
         return csr.copy()
     rows = csr.row_ids()

@@ -18,12 +18,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import checked, validates
 from repro.sparse.csr import CSRMatrix
 from repro.util.validation import check_dense, check_positive
 
 __all__ = ["spmm", "spmm_blocked", "spmm_rowwise_reference"]
 
 
+@checked(validates("csr"))
 def spmm_rowwise_reference(csr: CSRMatrix, X: np.ndarray) -> np.ndarray:
     """Paper Alg. 1, literal loops.  O(nnz * K) scalar operations."""
     X = check_dense("X", X, rows=csr.n_cols)
@@ -38,6 +40,7 @@ def spmm_rowwise_reference(csr: CSRMatrix, X: np.ndarray) -> np.ndarray:
     return Y
 
 
+@checked(validates("csr"))
 def spmm(csr: CSRMatrix, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Vectorised SpMM.
 
@@ -46,7 +49,9 @@ def spmm(csr: CSRMatrix, X: np.ndarray, out: np.ndarray | None = None) -> np.nda
     csr:
         Sparse operand, shape ``(M, N)``.
     X:
-        Dense operand, shape ``(N, K)``.
+        Dense operand, shape ``(N, K)``.  A ``float32`` operand is used
+        as-is (dtype-preserving validation) — no up-cast copy; the
+        accumulation still runs in ``float64`` via the values array.
     out:
         Optional preallocated ``(M, K)`` output (overwritten, not
         accumulated).
@@ -56,7 +61,7 @@ def spmm(csr: CSRMatrix, X: np.ndarray, out: np.ndarray | None = None) -> np.nda
     numpy.ndarray
         ``Y`` of shape ``(M, K)``.
     """
-    X = check_dense("X", X, rows=csr.n_cols)
+    X = check_dense("X", X, rows=csr.n_cols, dtype=None)
     K = X.shape[1]
     if out is None:
         out = np.zeros((csr.n_rows, K), dtype=np.float64)
@@ -76,6 +81,7 @@ def spmm(csr: CSRMatrix, X: np.ndarray, out: np.ndarray | None = None) -> np.nda
     return out
 
 
+@checked(validates("csr"))
 def spmm_blocked(
     csr: CSRMatrix, X: np.ndarray, *, block_rows: int = 4096
 ) -> np.ndarray:
@@ -85,7 +91,7 @@ def spmm_blocked(
     Results are bitwise identical to :func:`spmm` (same reduction order).
     """
     check_positive("block_rows", block_rows)
-    X = check_dense("X", X, rows=csr.n_cols)
+    X = check_dense("X", X, rows=csr.n_cols, dtype=None)
     K = X.shape[1]
     Y = np.zeros((csr.n_rows, K), dtype=np.float64)
     for lo in range(0, csr.n_rows, block_rows):

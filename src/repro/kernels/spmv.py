@@ -14,12 +14,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import checked, validates
 from repro.sparse.csr import CSRMatrix
 from repro.util.arrayops import segment_sum
 
 __all__ = ["spmv", "spmv_rowwise_reference"]
 
 
+@checked(validates("csr"))
 def spmv_rowwise_reference(csr: CSRMatrix, x: np.ndarray) -> np.ndarray:
     """Scalar-loop SpMV (the K=1 specialisation of the paper's Alg. 1)."""
     x = np.asarray(x, dtype=np.float64)
@@ -34,6 +36,7 @@ def spmv_rowwise_reference(csr: CSRMatrix, x: np.ndarray) -> np.ndarray:
     return y
 
 
+@checked(validates("csr"))
 def spmv(csr: CSRMatrix, x: np.ndarray) -> np.ndarray:
     """Vectorised SpMV: gather, multiply, segment-sum."""
     x = np.asarray(x, dtype=np.float64)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.contracts import checked, validates
 from repro.errors import ValidationError
 from repro.gpu.costmodel import KernelCost
 from repro.gpu.executor import GPUExecutor
@@ -51,6 +52,7 @@ class AutotuneResult:
         return self.cost_plain.time_s / self.cost_reordered.time_s
 
 
+@checked(validates("csr"))
 def autotune(
     csr: CSRMatrix,
     k: int,

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.aspt.stats import dense_ratio
+from repro.contracts import checked, validates
 from repro.similarity.jaccard import average_consecutive_similarity
 from repro.sparse.csr import CSRMatrix
 from repro.util.validation import check_in_range
@@ -49,6 +50,7 @@ class HeuristicDecision:
     threshold: float
 
 
+@checked(validates("csr"))
 def should_reorder_round1(
     csr: CSRMatrix,
     panel_height: int,

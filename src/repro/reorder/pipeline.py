@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.aspt.tiles import TiledMatrix, tile_matrix
 from repro.clustering.hierarchical import cluster_rows
+from repro.contracts import checked, validates
 from repro.kernels.aspt_sddmm import sddmm_tiled
 from repro.kernels.aspt_spmm import _panel_dense_spmm
 from repro.kernels.spmm import spmm
@@ -296,6 +297,7 @@ class ExecutionPlan:
         np.testing.assert_allclose(got.values, want.values, rtol=1e-10, atol=1e-9)
 
 
+@checked(validates("csr"))
 def reorder_rows(csr: CSRMatrix, config: ReorderConfig | None = None) -> np.ndarray:
     """One round of LSH + clustering row reordering (paper Alg. 3).
 
@@ -312,6 +314,7 @@ def reorder_rows(csr: CSRMatrix, config: ReorderConfig | None = None) -> np.ndar
     return result.order
 
 
+@checked(validates("csr"))
 def build_plan(
     csr: CSRMatrix,
     config: ReorderConfig | None = None,

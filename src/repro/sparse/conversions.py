@@ -10,10 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import checked, validates
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.util.arrayops import offsets_to_row_ids
+from repro.util.validation import check_dense
 
 __all__ = [
     "coo_to_csr",
@@ -24,6 +26,7 @@ __all__ = [
 ]
 
 
+@checked(validates("coo"))
 def coo_to_csr(coo: COOMatrix) -> CSRMatrix:
     """Convert COO to canonical CSR, summing duplicate coordinates."""
     m, n = coo.shape
@@ -46,6 +49,7 @@ def coo_to_csr(coo: COOMatrix) -> CSRMatrix:
     return CSRMatrix((m, n), rowptr, c, v)
 
 
+@checked(validates("csr"))
 def csr_to_coo(csr: CSRMatrix) -> COOMatrix:
     """Expand CSR into COO (entries remain in canonical row-major order)."""
     return COOMatrix(
@@ -53,6 +57,7 @@ def csr_to_coo(csr: CSRMatrix) -> COOMatrix:
     )
 
 
+@checked(validates("csr"))
 def csr_to_csc(csr: CSRMatrix) -> CSCMatrix:
     """CSR -> CSC via a stable counting sort on column index.
 
@@ -72,6 +77,7 @@ def csr_to_csc(csr: CSRMatrix) -> CSCMatrix:
     return CSCMatrix((m, n), colptr, rowidx, values)
 
 
+@checked(validates("csc"))
 def csc_to_csr(csc: CSCMatrix) -> CSRMatrix:
     """CSC -> CSR via the mirror-image stable counting sort."""
     m, n = csc.shape
@@ -87,6 +93,7 @@ def csc_to_csr(csc: CSCMatrix) -> CSRMatrix:
     return CSRMatrix((m, n), rowptr, colidx, values)
 
 
+@checked(lambda a: check_dense("dense", a["dense"], dtype=None))
 def dense_to_csr(dense: np.ndarray) -> CSRMatrix:
     """Compress a dense array into canonical CSR (alias of
     :meth:`CSRMatrix.from_dense`, provided for API symmetry)."""

@@ -15,6 +15,7 @@ import os
 
 import numpy as np
 
+from repro.contracts import checked, validates
 from repro.errors import FormatError
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
@@ -120,6 +121,7 @@ def read_matrix_market(path_or_file) -> CSRMatrix:
     return coo.to_csr()
 
 
+@checked(validates("csr"))
 def write_matrix_market(path_or_file, csr: CSRMatrix, comment: str = "") -> None:
     """Write canonical CSR as a general real coordinate MatrixMarket file."""
     fh, should_close = _open_text(path_or_file, "w")

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import checked, validates, validates_each
 from repro.errors import ShapeError
 from repro.sparse.csr import CSRMatrix
 from repro.util.validation import check_integer_array, check_permutation
@@ -25,6 +26,7 @@ __all__ = [
 ]
 
 
+@checked(validates("csr"))
 def permute_csr_rows(csr: CSRMatrix, order: np.ndarray) -> CSRMatrix:
     """Reorder rows so that new row ``k`` is old row ``order[k]``.
 
@@ -57,6 +59,7 @@ def permute_csr_rows(csr: CSRMatrix, order: np.ndarray) -> CSRMatrix:
     return CSRMatrix(csr.shape, new_rowptr, colidx, values)
 
 
+@checked(validates("csr"))
 def permute_csr_columns(csr: CSRMatrix, col_map: np.ndarray) -> CSRMatrix:
     """Relabel columns: new column of an entry is ``col_map[old_column]``.
 
@@ -69,6 +72,7 @@ def permute_csr_columns(csr: CSRMatrix, col_map: np.ndarray) -> CSRMatrix:
     return CSRMatrix.from_arrays(csr.shape, csr.rowptr.copy(), new_cols, csr.values.copy())
 
 
+@checked(validates("csr"))
 def transpose_csr(csr: CSRMatrix) -> CSRMatrix:
     """Transpose via CSC reinterpretation (counting sort, no Python loop)."""
     from repro.sparse.conversions import csr_to_csc
@@ -79,6 +83,7 @@ def transpose_csr(csr: CSRMatrix) -> CSRMatrix:
     return CSRMatrix((csr.n_cols, csr.n_rows), csc.colptr, csc.rowidx, csc.values)
 
 
+@checked(validates("csr"))
 def extract_rows(csr: CSRMatrix, rows: np.ndarray) -> CSRMatrix:
     """Sub-matrix containing the given rows (in the given order).
 
@@ -107,6 +112,7 @@ def extract_rows(csr: CSRMatrix, rows: np.ndarray) -> CSRMatrix:
     return CSRMatrix((rows.size, csr.n_cols), rowptr, colidx, values)
 
 
+@checked(validates("csr"))
 def extract_columns(csr: CSRMatrix, cols: np.ndarray) -> CSRMatrix:
     """Sub-matrix containing the given columns, relabelled to ``0..len-1``.
 
@@ -128,6 +134,7 @@ def extract_columns(csr: CSRMatrix, cols: np.ndarray) -> CSRMatrix:
     return CSRMatrix.from_arrays((csr.n_rows, cols.size), rowptr, new_cols, values)
 
 
+@checked(validates_each("mats"))
 def vstack_csr(mats: list[CSRMatrix]) -> CSRMatrix:
     """Stack CSR matrices vertically (all must share ``n_cols``)."""
     if not mats:
@@ -148,6 +155,7 @@ def vstack_csr(mats: list[CSRMatrix]) -> CSRMatrix:
     return CSRMatrix((n_rows, n_cols), rowptr, colidx, values)
 
 
+@checked(validates_each("mats"))
 def hstack_csr(mats: list[CSRMatrix]) -> CSRMatrix:
     """Stack CSR matrices horizontally (all must share ``n_rows``)."""
     if not mats:

@@ -11,6 +11,7 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro.contracts import checked, validates
 from repro.sparse.csr import CSRMatrix
 
 __all__ = [
@@ -24,11 +25,13 @@ __all__ = [
 ]
 
 
+@checked(validates("csr"))
 def nnz_per_row(csr: CSRMatrix) -> np.ndarray:
     """Non-zeros per row."""
     return csr.row_lengths()
 
 
+@checked(validates("csr"))
 def column_counts(csr: CSRMatrix) -> np.ndarray:
     """Non-zeros per column (length ``n_cols``)."""
     if csr.nnz == 0:
@@ -36,12 +39,14 @@ def column_counts(csr: CSRMatrix) -> np.ndarray:
     return np.bincount(csr.colidx, minlength=csr.n_cols).astype(np.int64)
 
 
+@checked(validates("csr"))
 def density(csr: CSRMatrix) -> float:
     """Fraction of stored entries: ``nnz / (n_rows * n_cols)``."""
     cells = csr.n_rows * csr.n_cols
     return csr.nnz / cells if cells else 0.0
 
 
+@checked(validates("csr"))
 def bandwidth(csr: CSRMatrix) -> int:
     """Maximum ``|i - j|`` over stored entries (0 for empty matrices).
 
@@ -53,6 +58,7 @@ def bandwidth(csr: CSRMatrix) -> int:
     return int(np.abs(csr.row_ids() - csr.colidx).max())
 
 
+@checked(validates("csr"))
 def row_support(csr: CSRMatrix, i: int) -> np.ndarray:
     """The support set (sorted column indices) of row ``i`` — the set
     :math:`S_i` of the paper's Jaccard definition."""
@@ -80,6 +86,7 @@ class StructuralSummary:
         return asdict(self)
 
 
+@checked(validates("csr"))
 def structural_summary(csr: CSRMatrix) -> StructuralSummary:
     """Compute a :class:`StructuralSummary` in one pass."""
     lengths = csr.row_lengths()

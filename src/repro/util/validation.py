@@ -111,6 +111,11 @@ def check_dense(name: str, mat, *, rows=None, cols=None, dtype=np.float64) -> np
     Returns a C-contiguous array of ``dtype`` (copying only when necessary;
     views are preserved whenever the input already satisfies the contract,
     per the "use views, not copies" guideline).
+
+    ``dtype=None`` selects the *dtype-preserving* mode: a floating input
+    keeps its precision (``float32`` stays ``float32`` — no silent
+    up-cast that would double a ``K=512`` operand's memory), while
+    non-floating inputs are still promoted to ``float64``.
     """
     mat = np.asarray(mat)
     if mat.ndim != 2:
@@ -119,14 +124,31 @@ def check_dense(name: str, mat, *, rows=None, cols=None, dtype=np.float64) -> np
         raise ShapeError(f"{name} must have {rows} rows, got {mat.shape[0]}")
     if cols is not None and mat.shape[1] != cols:
         raise ShapeError(f"{name} must have {cols} columns, got {mat.shape[1]}")
+    if dtype is None:
+        if not np.issubdtype(mat.dtype, np.floating):
+            mat = mat.astype(np.float64)
+        return np.ascontiguousarray(mat)
     return np.ascontiguousarray(mat, dtype=dtype)
 
 
 def check_permutation(name: str, perm, n: int) -> np.ndarray:
-    """Validate that ``perm`` is a permutation of ``range(n)``."""
-    perm = check_integer_array(name, perm, min_value=0, max_value=max(n - 1, 0))
-    if perm.size != n:
-        raise ValidationError(f"{name} must have length {n}, got {perm.size}")
+    """Validate that ``perm`` is a permutation of ``range(n)``.
+
+    Accepts read-only inputs (e.g. memory-mapped plan files): the result is
+    a fresh or shared ``int64`` array, never an in-place mutation of the
+    input.  ``n = 0`` is legal and requires an empty ``perm`` — a non-empty
+    one is rejected with a length error rather than a confusing bounds
+    message.
+    """
+    n = check_nonnegative("n", n)
+    arr = np.asarray(perm)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size != n:
+        raise ValidationError(f"{name} must have length {n}, got {arr.size}")
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    perm = check_integer_array(name, arr, min_value=0, max_value=n - 1)
     seen = np.zeros(n, dtype=bool)
     seen[perm] = True
     if not seen.all():

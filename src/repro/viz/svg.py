@@ -96,6 +96,10 @@ def nice_ticks(lo: float, hi: float, target: int = 5) -> list[float]:
     if hi == lo:
         hi = lo + 1.0
     raw_step = (hi - lo) / max(target, 1)
+    if raw_step <= 0.0:
+        # Subnormal ranges underflow the division to exactly 0.0; treat the
+        # interval as degenerate rather than feeding log10(0).
+        return [lo, hi]
     power = 10.0 ** math.floor(math.log10(raw_step))
     step = min((m * power for m in (1.0, 2.0, 5.0, 10.0)),
                key=lambda s: abs((hi - lo) / s - target))

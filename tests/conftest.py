@@ -23,10 +23,21 @@ The support sets below satisfy every one of those constraints:
     S3 = {1}       S4 = {0, 3, 4}    S5 = {2, 5}
 """
 
+import os
+
 import numpy as np
 import pytest
 
-from repro.sparse import COOMatrix, CSRMatrix
+# The whole suite runs with runtime contracts on (see repro.contracts), so
+# every kernel/pipeline call in CI re-validates its operands.  Set both the
+# environment variable (for subprocesses spawned by tests) and the runtime
+# switch (in case repro.contracts was already imported without it).
+os.environ.setdefault("REPRO_CONTRACTS", "1")
+
+from repro.contracts import enable_contracts  # noqa: E402
+from repro.sparse import COOMatrix, CSRMatrix  # noqa: E402
+
+enable_contracts(os.environ["REPRO_CONTRACTS"] not in ("", "0"))
 
 PAPER_SUPPORTS = {
     0: [0, 4],

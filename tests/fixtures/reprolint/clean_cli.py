@@ -1,0 +1,9 @@
+"""Fixture: a routed CLI handler — no RD304."""
+
+from repro.cli import cli_handler
+
+
+@cli_handler("fixture")
+def _cmd_fixture(args):
+    """Registered handler: errors route through repro.errors exit codes."""
+    return 0

@@ -1,0 +1,25 @@
+"""Fixture: deterministic counterparts of the RD1xx violations."""
+
+import numpy as np
+
+
+def make_generator(seed):
+    """Seeded generator: no RD101."""
+    return np.random.default_rng(seed)
+
+
+def modern_calls(rng):
+    """Generator API instead of the legacy globals: no RD102."""
+    return rng.normal(size=3)
+
+
+def iterate_sorted(items):
+    """Sorted materialisation before iteration: no RD103."""
+    for item in sorted(set(items)):
+        pass
+    return [x for x in sorted({v for v in items})]
+
+
+def stamp(clock):
+    """Injected clock: no RD104."""
+    return clock()

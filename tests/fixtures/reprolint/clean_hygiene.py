@@ -1,0 +1,26 @@
+"""Fixture: hygienic counterparts of the RD30x violations."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def swallow():
+    """Typed except: no RD301."""
+    try:
+        return 1
+    except ValueError:
+        return None
+
+
+def accumulate(item, seen=None, lookup=None):
+    """None sentinels: no RD302."""
+    seen = [] if seen is None else seen
+    lookup = {} if lookup is None else lookup
+    seen.append(item)
+    return seen, lookup
+
+
+def report(msg):
+    """Logging instead of print: no RD303."""
+    logger.info(msg)

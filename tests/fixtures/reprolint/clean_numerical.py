@@ -1,0 +1,33 @@
+"""Fixture: numerically safe counterparts of the RD2xx violations."""
+
+import math
+
+import numpy as np
+
+from repro.contracts import checked, validates
+from repro.util.validation import check_dense
+
+
+def compare(val):
+    """Tolerant comparison: no RD201."""
+    return math.isclose(val, 0.1) or val == 1
+
+
+def widen(arr):
+    """int64 casts: no RD202."""
+    a = arr.astype(np.int64)
+    b = np.asarray(arr, dtype="int64")
+    return a, b
+
+
+@checked(validates("csr"))
+def spmm_like(csr, X):
+    """Decorated entry point: no RD203."""
+    return csr, X
+
+
+def sddmm_like(csr, X):
+    """Inline-validated entry point: no RD203."""
+    csr.validate()
+    X = check_dense("X", X)
+    return csr, X

@@ -1,0 +1,6 @@
+"""Fixture: RD304 fires — a CLI handler outside the routing registry."""
+
+
+def _cmd_orphan(args):
+    """RD304: not registered with @cli_handler."""
+    return 0

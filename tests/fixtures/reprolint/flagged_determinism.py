@@ -1,0 +1,35 @@
+"""Fixture: every RD1xx determinism rule fires in this file."""
+
+import time
+
+import numpy as np
+
+
+def make_generator():
+    """RD101: unseeded generator."""
+    return np.random.default_rng()
+
+
+def make_generator_none():
+    """RD101: explicit ``None`` seed is still unseeded."""
+    return np.random.default_rng(None)
+
+
+def legacy_calls():
+    """RD102: legacy global-state RNG API."""
+    np.random.seed(0)
+    return np.random.rand(3)
+
+
+def iterate_sets(items):
+    """RD103: set iteration order is hash-dependent."""
+    for item in {1, 2, 3}:
+        pass
+    for item in set(items):
+        pass
+    return [x for x in {v for v in items}]
+
+
+def stamp():
+    """RD104: wall-clock reads."""
+    return time.time(), time.perf_counter()

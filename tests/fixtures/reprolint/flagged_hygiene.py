@@ -1,0 +1,20 @@
+"""Fixture: every RD30x hygiene rule (bar RD304) fires in this file."""
+
+
+def swallow():
+    """RD301: bare except."""
+    try:
+        return 1
+    except:
+        return None
+
+
+def accumulate(item, seen=[], lookup={}):
+    """RD302: mutable default arguments."""
+    seen.append(item)
+    return seen, lookup
+
+
+def report(msg):
+    """RD303: print in library code."""
+    print(msg)

@@ -1,0 +1,23 @@
+"""Fixture: every RD2xx numerical-safety rule fires in this file."""
+
+import numpy as np
+
+
+def compare(val):
+    """RD201: exact float comparison."""
+    if val == 0.1:
+        return True
+    return val != -2.5
+
+
+def narrow(arr):
+    """RD202: narrowing index casts."""
+    a = arr.astype(np.int32)
+    b = arr.astype("int16")
+    c = arr.astype(dtype=np.uint8)
+    return a, b, c
+
+
+def spmm_like(csr, X):
+    """RD203: public entry point with an unvalidated sparse operand."""
+    return csr, X

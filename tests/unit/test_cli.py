@@ -5,7 +5,8 @@ import json
 import numpy as np
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _HANDLERS, build_parser, main
+from repro.errors import EXIT_DATA, EXIT_IO, EXIT_OK, EXIT_USAGE
 from repro.sparse import CSRMatrix, read_matrix_market, write_matrix_market
 
 
@@ -177,6 +178,60 @@ class TestAutotuneCommand:
                      "--panel-height", "8"]) == 0
         out = capsys.readouterr().out
         assert "decision:" in out and "modelled spmm" in out
+
+
+class TestErrorRouting:
+    """repro CLI errors map to repro.errors exit codes, not tracebacks."""
+
+    def test_every_subcommand_is_registered(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if a.dest == "command"
+        )
+        assert set(subparsers.choices) == set(_HANDLERS)
+
+    def test_missing_mtx_exits_io(self, tmp_path, capsys):
+        code = main(["reorder", "--mtx", str(tmp_path / "missing.mtx"),
+                     "--out", str(tmp_path / "out.mtx")])
+        assert code == EXIT_IO
+        err = capsys.readouterr().err
+        assert "repro reorder: error" in err
+
+    def test_malformed_mtx_exits_data(self, tmp_path, capsys):
+        path = tmp_path / "bad.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n1 1\n1.0\n")
+        code = main(["reorder", "--mtx", str(path),
+                     "--out", str(tmp_path / "out.mtx")])
+        assert code == EXIT_DATA
+        err = capsys.readouterr().err
+        assert "FormatError" in err
+
+    def test_missing_records_exits_io(self, tmp_path, capsys):
+        code = main(["table", "1", "--records", str(tmp_path / "none.json")])
+        assert code == EXIT_IO
+        assert "repro table: error" in capsys.readouterr().err
+
+    def test_lint_subcommand_clean_path(self, tmp_path, monkeypatch, capsys):
+        good = tmp_path / "fine.py"
+        good.write_text("x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", str(good)]) == EXIT_OK
+        assert "no findings" in capsys.readouterr().out
+
+    def test_lint_subcommand_missing_path_exits_usage(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        code = main(["lint", str(tmp_path / "gone")])
+        assert code == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "repro lint: error" in err and "ValidationError" in err
+
+    def test_lint_subcommand_findings_exit_failure(self, tmp_path, monkeypatch, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("y = 2 == 2.0\n")
+        monkeypatch.chdir(tmp_path)
+        code = main(["lint", str(bad)])
+        assert code == 1
+        assert "RD201" in capsys.readouterr().out
 
 
 class TestJobsFlag:
