@@ -13,7 +13,7 @@ from repro.aspt import tile_matrix
 from repro.clustering import cluster_rows
 from repro.datasets import hidden_clusters, uniform_random
 from repro.gpu.cache import approx_lru_hits, lru_hits
-from repro.kernels import sddmm, spmm, spmm_tiled
+from repro.kernels import KernelSession, sddmm, spmm, spmm_tiled
 from repro.reorder import ReorderConfig, build_plan
 from repro.similarity import LSHIndex, minhash_signatures
 from repro.sparse import permute_csr_rows
@@ -48,6 +48,21 @@ class TestKernelThroughput:
         X, _ = dense_ops
         tiled = tile_matrix(matrix, 16, 2)
         Y = benchmark(spmm_tiled, tiled, X)
+        assert Y.shape == (matrix.n_rows, 128)
+
+    def test_spmm_session_steady_state(self, benchmark, matrix, dense_ops):
+        X, _ = dense_ops
+        session = KernelSession(matrix)
+        session.run(X)  # pay the pool misses before timing
+        Y = benchmark(session.run, X)
+        assert Y.shape == (matrix.n_rows, 128)
+        assert session.stats()["evictions"] == 0
+
+    def test_spmm_tiled_session_steady_state(self, benchmark, matrix, dense_ops):
+        X, _ = dense_ops
+        session = KernelSession(tile_matrix(matrix, 16, 2))
+        session.run(X)
+        Y = benchmark(session.run, X)
         assert Y.shape == (matrix.n_rows, 128)
 
 

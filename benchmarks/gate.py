@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Standalone entry point for the perf-regression gate.
+
+Equivalent to ``repro bench --gate``; kept as a script so the gate can be
+run straight from a checkout (or a CI step) without installing the
+console entry point::
+
+    PYTHONPATH=src python benchmarks/gate.py --quick
+    PYTHONPATH=src python benchmarks/gate.py --update-baseline
+
+All heavy lifting lives in :mod:`repro.bench.gate`; this file only parses
+arguments and prints the report.
+"""
+
+import argparse
+import sys
+
+from repro.bench.gate import DEFAULT_TOLERANCE, SUITES, run_gate
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", action="append", choices=sorted(SUITES))
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument("--baseline-dir", default=".")
+    parser.add_argument("--out-dir", default=None)
+    parser.add_argument("--update-baseline", action="store_true")
+    args = parser.parse_args(argv)
+    code, text = run_gate(
+        args.suite,
+        quick=args.quick,
+        tolerance=args.tolerance,
+        baseline_dir=args.baseline_dir,
+        out_dir=args.out_dir,
+        update_baseline=args.update_baseline,
+    )
+    print(text)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

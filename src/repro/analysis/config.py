@@ -46,6 +46,9 @@ DEFAULT_SCOPES: dict[str, tuple[str, ...]] = {
     ),
     # RD104: packages whose results must not depend on wall-clock reads.
     "wallclock-paths": ("repro/kernels", "repro/aspt", "repro/clustering"),
+    # RD105: kernel code whose nnz-proportional scratch must come from the
+    # workspace pool rather than per-call allocation.
+    "workspace-scratch-paths": ("repro/kernels",),
     # RD203: packages whose public entry points must validate sparse args.
     "entrypoint-paths": ("repro/sparse", "repro/aspt", "repro/reorder"),
     # RD303 applies to library code only...

@@ -3,11 +3,12 @@
 Importing this package registers every rule into
 :data:`repro.analysis.core.REGISTRY`.  Rules are grouped by code band:
 
-* :mod:`repro.analysis.rules.determinism` — RD1xx
+* :mod:`repro.analysis.rules.determinism` — RD101-RD104
+* :mod:`repro.analysis.rules.performance` — RD105 (hot-path allocations)
 * :mod:`repro.analysis.rules.numerical` — RD2xx
 * :mod:`repro.analysis.rules.hygiene` — RD3xx
 """
 
-from repro.analysis.rules import determinism, hygiene, numerical
+from repro.analysis.rules import determinism, hygiene, numerical, performance
 
-__all__ = ["determinism", "numerical", "hygiene"]
+__all__ = ["determinism", "performance", "numerical", "hygiene"]

@@ -1,0 +1,11 @@
+"""Perf-regression gating for the library's own hot paths.
+
+:mod:`repro.bench.gate` runs a pinned micro-suite (steady-state kernels,
+end-to-end reorder preprocessing), writes ``BENCH_<name>.json`` trajectory
+files and compares fresh numbers against the committed baselines — see
+``docs/PERFORMANCE.md`` for how to run and read it.
+"""
+
+from repro.bench.gate import SUITES, compare_results, run_gate, run_suite
+
+__all__ = ["SUITES", "compare_results", "run_gate", "run_suite"]

@@ -12,6 +12,7 @@ Subcommands::
     repro autotune  --mtx in.mtx [--k 512] [--op spmm]  # trial-and-error verdict
     repro report    --records results.json --out EXPERIMENTS.md
     repro lint      src/ tests/ [--format json]      # reprolint static analysis
+    repro bench     --gate [--quick]                 # perf-regression gate
     repro generators
 
 ``repro run`` executes the corpus experiment and writes the JSON records
@@ -155,8 +156,65 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
 
+    be = sub.add_parser(
+        "bench", help="run the pinned perf micro-suite / regression gate"
+    )
+    be.add_argument(
+        "--suite", action="append", choices=("kernels", "preproc"),
+        help="suite(s) to run (default: all)",
+    )
+    be.add_argument(
+        "--gate", action="store_true",
+        help="compare against the committed BENCH_*.json baselines and "
+        "fail on regression",
+    )
+    be.add_argument(
+        "--quick", action="store_true",
+        help="fewer repetitions per metric (same workloads, noisier medians)",
+    )
+    be.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed relative drift before the gate fails (default 0.25)",
+    )
+    be.add_argument(
+        "--baseline-dir", metavar="DIR", default=".",
+        help="directory holding the committed BENCH_<suite>.json baselines",
+    )
+    be.add_argument(
+        "--out-dir", metavar="DIR", default=None,
+        help="also write the fresh result documents here (CI artifacts)",
+    )
+    be.add_argument(
+        "--update-baseline", action="store_true",
+        help="overwrite the baselines with the fresh numbers instead of gating",
+    )
+
     sub.add_parser("generators", help="list dataset generators")
     return p
+
+
+@cli_handler("bench")
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.bench import SUITES, run_gate, run_suite
+    from repro.bench.gate import DEFAULT_TOLERANCE
+
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    if args.gate or args.update_baseline:
+        code, text = run_gate(
+            args.suite,
+            quick=args.quick,
+            tolerance=tolerance,
+            baseline_dir=args.baseline_dir,
+            out_dir=args.out_dir,
+            update_baseline=args.update_baseline,
+        )
+        print(text)
+        return code
+    for name in args.suite or sorted(SUITES):
+        print(json.dumps(run_suite(name, quick=args.quick), indent=1))
+    return 0
 
 
 @cli_handler("corpus")

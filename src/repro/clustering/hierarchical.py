@@ -20,32 +20,115 @@ by exact Jaccard similarity:
 
 Complexity (paper §3.2): ``O(E log N + (N + E) log E + N)`` for ``N`` rows
 and ``E`` candidate pairs — near ``O(N log N)`` when ``E = O(N)``.
+
+Implementation notes (hot path).  All candidate similarities arrive
+pre-scored in one vectorised :func:`~repro.similarity.similarity_for_pairs`
+pass (:meth:`repro.similarity.LSHIndex.candidate_pairs`).  The requeued
+representative pairs of step 3 — the only scoring left inside the loop —
+are *batch-scored*: instead of one Python-level similarity call per pair,
+requeue requests accumulate in a pending list and are scored with a single
+NumPy call when the loop is about to need one of them.  The flush point is
+exact, not heuristic: each pending pair carries a cheap upper bound on its
+similarity (``measure`` evaluated with the intersection replaced by the
+smaller support size — e.g. ``min(|A|,|B|) / max(|A|,|B|)`` for Jaccard),
+and the batch is scored the moment the heap's top similarity falls to or
+below the largest pending bound (or the heap empties).  Until then every
+pending pair provably orders after the heap top (IEEE rounding is
+monotone, and ties are impossible below a *strict* bound), so the pop
+sequence — including tie-breaking — is identical to scoring eagerly.
+When a flush drains a single pair (common on matrices with uniform row
+lengths, where the upper bound is vacuous and every requeue flushes
+immediately), the batch call's fixed cost is skipped and the pair is
+scored with a scalar set-intersection path computing the *same*
+correctly-rounded IEEE value as :func:`similarity_for_pairs` — double
+division and ``sqrt`` of exactly representable integers are deterministic,
+so the two paths are bitwise interchangeable.  The
+loop itself consumes the (static) initial candidates from one presorted
+stream — only requeued pairs live on a real heap, merged with the stream
+by key — and keeps union–find state in Python lists (same path-halving
+updates as :class:`~repro.clustering.UnionFind`, which profiling showed
+dominating preprocessing through per-call indirection);
+the forest is rebuilt as a :class:`~repro.clustering.UnionFind` afterwards
+for the ordering helpers.  Outputs are identical — asserted against the
+Fig. 6 oracle and the property suite.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
+from math import sqrt
 
 import numpy as np
 
-from repro.clustering.heap import MaxHeap
 from repro.clustering.ordering import clusters_from_forest, order_from_clusters
 from repro.clustering.union_find import UnionFind
 from repro.errors import ValidationError
-from repro.similarity.jaccard import jaccard_rows
+from repro.similarity.measures import similarity_for_pairs
 from repro.sparse.csr import CSRMatrix
 from repro.util.validation import check_positive
 
 __all__ = ["ClusteringResult", "cluster_rows"]
 
 
-def _score(csr: CSRMatrix, i: int, j: int, measure: str) -> float:
-    """Similarity of one row pair under ``measure`` (fast path for Jaccard)."""
-    if measure == "jaccard":
-        return jaccard_rows(csr, i, j)
-    from repro.similarity.measures import similarity_for_pairs
+def _upper_bound_fn(measure: str, row_lengths: list):
+    """Per-pair similarity upper bound (intersection -> ``min(|A|, |B|)``).
 
-    return float(similarity_for_pairs(csr, np.array([[i, j]]), measure)[0])
+    Every measure in :data:`repro.similarity.MEASURES` is monotone in the
+    intersection size, so substituting its maximum possible value bounds
+    the similarity from above; IEEE division is monotone, so the bound
+    holds for the computed floats too, which is what the batch-flush
+    ordering proof needs.
+    """
+    if measure == "jaccard":
+
+        def bound(i: int, j: int) -> float:
+            la, lb = row_lengths[i], row_lengths[j]
+            mn, mx = (la, lb) if la <= lb else (lb, la)
+            return mn / mx if mx else 0.0
+
+    elif measure == "cosine":
+
+        def bound(i: int, j: int) -> float:
+            la, lb = row_lengths[i], row_lengths[j]
+            mn = la if la <= lb else lb
+            return mn / sqrt(la * lb) if mn else 0.0
+
+    elif measure == "overlap":
+
+        def bound(i: int, j: int) -> float:
+            return 1.0 if row_lengths[i] and row_lengths[j] else 0.0
+
+    else:  # dice
+
+        def bound(i: int, j: int) -> float:
+            la, lb = row_lengths[i], row_lengths[j]
+            mn = la if la <= lb else lb
+            return 2.0 * mn / (la + lb) if mn else 0.0
+
+    return bound
+
+
+def _scalar_score(measure: str, inter: int, la: int, lb: int) -> float:
+    """Scalar similarity, bitwise-equal to :func:`similarity_for_pairs`.
+
+    All operands are exact small integers, so the float64 conversions,
+    products and divisions below are the same correctly-rounded IEEE
+    operations the vectorised path performs.
+    """
+    if measure == "jaccard":
+        denom = la + lb - inter
+        return inter / denom if denom else 0.0
+    if measure == "cosine":
+        # Match the batch path exactly: float64 product, then sqrt.
+        denom = sqrt(float(la) * float(lb))
+        return inter / denom if denom else 0.0
+    if measure == "overlap":
+        denom = la if la <= lb else lb
+        return inter / denom if denom else 0.0
+    # dice
+    denom = la + lb
+    return (2.0 * inter) / denom if denom else 0.0
 
 
 @dataclass(frozen=True)
@@ -117,53 +200,144 @@ def cluster_rows(
     if sims.size != pairs.shape[0]:
         raise ValidationError("pairs and sims must have equal length")
     threshold_size = check_positive("threshold_size", threshold_size)
+    if measure not in ("jaccard", "cosine", "overlap", "dice"):
+        # Fail before the loop with the standard message.
+        similarity_for_pairs(csr, np.empty((0, 2), dtype=np.int64), measure)
 
     n = csr.n_rows
-    forest = UnionFind(n)
-    deleted = np.zeros(n, dtype=bool)
+    parent = list(range(n))
+    size = [1] * n
+    deleted = bytearray(n)
     live_clusters = n
 
-    heap = MaxHeap.from_arrays(sims, pairs[:, 0], pairs[:, 1])
+    # The initial candidates are static, so instead of a heap they are
+    # sorted once (ascending ``(-sim, i, j)`` — the exact heap key) and
+    # consumed as a stream.  Only *requeued* pairs, which arrive while the
+    # loop runs, need a real heap — and there are few of them (Alg. 3
+    # requeues once per survived representative collision), so its pops
+    # stay cheap.  Every key is distinct (the seen-set dedups pairs and
+    # the key embeds the pair), hence the min-merge of stream and requeue
+    # heap pops in exactly the order one big heap would.
+    order0 = np.lexsort((pairs[:, 1], pairs[:, 0], -sims))
+    stream_s = (-sims)[order0].tolist()
+    stream_i = pairs[order0, 0].tolist()
+    stream_j = pairs[order0, 1].tolist()
+    spos, send = 0, len(stream_s)
+    rq: list[tuple[float, int, int]] = []  # heap of requeued (-sim, i, j)
     # Seen-pair set for the Alg. 3 line-27 dedup.  Keys encode (lo, hi).
     seen: set[int] = set()
     lo = np.minimum(pairs[:, 0], pairs[:, 1])
     hi = np.maximum(pairs[:, 0], pairs[:, 1])
     seen.update((lo * np.int64(n) + hi).tolist())
 
+    lens = csr.row_lengths().tolist()
+    bound = _upper_bound_fn(measure, lens)
+    pending: list[tuple[int, int]] = []
+    pending_bound = -1.0  # max upper bound over pending pairs
+
+    # Lazily built column supports for the single-pair scoring path.  Only
+    # requeued representatives land here, so the cache stays small.
+    colidx = csr.colidx
+    rowptr = csr.rowptr
+    row_sets: dict[int, frozenset] = {}
+
     n_merges = 0
     n_retired = 0
     n_requeued = 0
 
-    while heap and live_clusters > 0:
-        _, i, j = heap.pop()
-        if forest.is_root(i) and forest.is_root(j):
+    while live_clusters > 0 and (spos < send or rq or pending):
+        if pending:
+            if spos < send:
+                top_neg = stream_s[spos]
+                if rq and rq[0][0] < top_neg:
+                    top_neg = rq[0][0]
+            elif rq:
+                top_neg = rq[0][0]
+            else:
+                top_neg = None
+            if top_neg is None or pending_bound >= -top_neg:
+                if len(pending) == 1:
+                    # Degenerate batch: score the lone pair with C-level
+                    # set intersection instead of paying the batch call's
+                    # fixed cost (same IEEE value — see _scalar_score).
+                    a, b = pending[0]
+                    sa = row_sets.get(a)
+                    if sa is None:
+                        sa = frozenset(colidx[rowptr[a] : rowptr[a + 1]].tolist())
+                        row_sets[a] = sa
+                    sb = row_sets.get(b)
+                    if sb is None:
+                        sb = frozenset(colidx[rowptr[b] : rowptr[b + 1]].tolist())
+                        row_sets[b] = sb
+                    s = _scalar_score(measure, len(sa & sb), lens[a], lens[b])
+                    heappush(rq, (-s, a, b))
+                else:
+                    # Batch-score the drained requeue requests with one
+                    # NumPy call and fold them into the requeue heap
+                    # before the order can need them.
+                    scores = similarity_for_pairs(
+                        csr, np.array(pending, dtype=np.int64), measure
+                    )
+                    for (a, b), s in zip(pending, scores.tolist()):
+                        heappush(rq, (-s, a, b))
+                pending.clear()
+                pending_bound = -1.0
+                continue
+        # Pop the smaller of (stream head, requeue-heap top) — with all
+        # keys distinct this merges into the single-heap pop sequence.
+        if spos < send and (
+            not rq or rq[0] >= (stream_s[spos], stream_i[spos], stream_j[spos])
+        ):
+            i = stream_i[spos]
+            j = stream_j[spos]
+            spos += 1
+        else:
+            _, i, j = heappop(rq)
+        if parent[i] == i and parent[j] == j:
             if deleted[i] or deleted[j] or i == j:
                 continue
             # Merge the smaller cluster into the larger; on ties keep the
             # smaller row index as representative.
-            si, sj = forest.size[i], forest.size[j]
+            si, sj = size[i], size[j]
             if si < sj or (si == sj and j < i):
                 child, root = i, j
             else:
                 child, root = j, i
-            new_size = forest.merge_roots(child, root)
+            parent[child] = root
+            new_size = si + sj
+            size[root] = new_size
             live_clusters -= 1
             n_merges += 1
             if new_size >= threshold_size:
-                deleted[root] = True
+                deleted[root] = 1
                 n_retired += 1
                 live_clusters -= 1
         else:
-            ri, rj = forest.root(i), forest.root(j)
+            # Path-halving root chase (UnionFind.root, inlined).
+            ri = i
+            while parent[ri] != ri:
+                parent[ri] = parent[parent[ri]]
+                ri = parent[ri]
+            rj = j
+            while parent[rj] != rj:
+                parent[rj] = parent[parent[rj]]
+                rj = parent[rj]
             if deleted[ri] or deleted[rj] or ri == rj:
                 continue
             a, b = (ri, rj) if ri < rj else (rj, ri)
             key = a * n + b
             if key not in seen:
                 seen.add(key)
-                heap.push(_score(csr, a, b, measure), a, b)
+                pending.append((a, b))
+                ub = bound(a, b)
+                if ub > pending_bound:
+                    pending_bound = ub
                 n_requeued += 1
 
+    forest = UnionFind(n)
+    forest.parent[:] = parent
+    forest.size[:] = size
+    forest.n_sets = n - n_merges
     clusters = clusters_from_forest(forest)
     order = order_from_clusters(clusters, n)
     cluster_of = np.empty(n, dtype=np.int64)

@@ -11,6 +11,13 @@ Two families:
   explicitly staged panel buffer (the functional analogue of the GPU
   shared-memory path) and the remainder row-wise.
 
+All vectorised kernels accept ``workspace=`` (see
+:mod:`repro.util.workspace`) so their large scratch buffers are pooled
+instead of re-allocated per call, and
+:class:`repro.kernels.KernelSession` pins a matrix (or tiled matrix, or
+execution plan) for the repeated-multiply serving case — bitwise-identical
+results at a fraction of the steady-state cost.
+
 These kernels compute *results*; the corresponding *performance* estimates
 come from :mod:`repro.gpu`, which models the same access patterns on a
 P100-like memory hierarchy.
@@ -21,9 +28,11 @@ from repro.kernels.spmv import spmv, spmv_rowwise_reference
 from repro.kernels.sddmm import sddmm, sddmm_rowwise_reference
 from repro.kernels.aspt_spmm import spmm_tiled
 from repro.kernels.aspt_sddmm import sddmm_tiled
+from repro.kernels.session import KernelSession
 from repro.kernels.validate import assert_spmm_correct, assert_sddmm_correct
 
 __all__ = [
+    "KernelSession",
     "spmm",
     "spmm_blocked",
     "spmm_rowwise_reference",

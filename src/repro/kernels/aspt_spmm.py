@@ -8,6 +8,13 @@ ids.  The sparse remainder goes through the row-wise kernel.  Because the
 tiler partitions the non-zeros exactly, the sum of the two phases equals
 plain SpMM on the original matrix — asserted in the test suite against the
 Alg. 1 oracle.
+
+Like the row-wise kernels, ``spmm_tiled`` accepts ``workspace=`` so the
+panel gather buffers and products scratch are leased from a
+:class:`~repro.util.workspace.WorkspacePool` instead of allocated per
+panel; the panel *metadata* (local column ids, segment starts) can also be
+precomputed once via :func:`panel_plan` — that is what
+:class:`repro.kernels.KernelSession` pins for the repeated-multiply case.
 """
 
 from __future__ import annotations
@@ -19,22 +26,26 @@ from repro.contracts import checked, invokes
 from repro.kernels.spmm import spmm
 from repro.sparse.csr import CSRMatrix
 from repro.util.validation import check_dense
+from repro.util.workspace import Workspace, as_workspace
 
-__all__ = ["spmm_tiled"]
+__all__ = ["spmm_tiled", "panel_plan"]
 
 
-def _panel_dense_spmm(
+def panel_plan(
     dense_part: CSRMatrix,
-    X: np.ndarray,
     panel_dense_cols: list[np.ndarray],
     panel_height: int,
-    out: np.ndarray,
-) -> None:
-    """Accumulate the dense-tile contribution into ``out``.
+) -> list[tuple]:
+    """Precompute the per-panel gather metadata of the dense phase.
 
-    Mirrors the shared-memory kernel: gather, remap, multiply per panel.
+    For every non-trivial panel: ``(cols, lo, p0, vals, local, starts,
+    nonempty)`` where ``local`` remaps the panel's column ids into the
+    gathered buffer and ``starts``/``nonempty`` drive the segment sum.
+    Computing this per call costs a ``searchsorted`` per panel; a
+    :class:`~repro.kernels.KernelSession` computes it once.
     """
     rowptr = dense_part.rowptr
+    plan: list[tuple] = []
     for p, cols in enumerate(panel_dense_cols):
         if cols.size == 0:
             continue
@@ -43,18 +54,61 @@ def _panel_dense_spmm(
         p0, p1 = rowptr[lo], rowptr[hi]
         if p0 == p1:
             continue
-        buffer = X[cols]  # "shared memory" stage: one load per dense column
         local = np.searchsorted(cols, dense_part.colidx[p0:p1])
         vals = dense_part.values[p0:p1]
-        products = vals[:, None] * buffer[local]
         lengths = np.diff(rowptr[lo : hi + 1])
         nonempty = np.flatnonzero(lengths > 0)
         starts = (rowptr[lo:hi][nonempty] - p0).astype(np.int64)
-        out[lo + nonempty] += np.add.reduceat(products, starts, axis=0)
+        plan.append((cols, int(lo), vals, local, starts, nonempty))
+    return plan
+
+
+def _panel_dense_spmm(
+    dense_part: CSRMatrix,
+    X: np.ndarray,
+    panel_dense_cols: list[np.ndarray],
+    panel_height: int,
+    out: np.ndarray,
+    *,
+    workspace: Workspace | None = None,
+    panels: list[tuple] | None = None,
+) -> None:
+    """Accumulate the dense-tile contribution into ``out``.
+
+    Mirrors the shared-memory kernel: gather, remap, multiply per panel.
+    With ``workspace`` the buffers are leased; with ``panels`` (from
+    :func:`panel_plan`) the per-panel metadata is not recomputed.  Both
+    paths produce bitwise-identical accumulations.
+    """
+    if panels is None:
+        panels = panel_plan(dense_part, panel_dense_cols, panel_height)
+    ws = workspace
+    K = X.shape[1]
+    for cols, lo, vals, local, starts, nonempty in panels:
+        if ws is None:
+            buffer = X[cols]  # "shared memory" stage: one load per dense column
+            products = vals[:, None] * buffer[local]
+            out[lo + nonempty] += np.add.reduceat(products, starts, axis=0)
+            continue
+        buffer = ws.scratch((cols.size, K), dtype=X.dtype)
+        np.take(X, cols, axis=0, out=buffer)
+        gathered = ws.scratch((local.size, K), dtype=X.dtype)
+        np.take(buffer, local, axis=0, out=gathered)
+        products = ws.scratch((local.size, K))
+        np.multiply(vals[:, None], gathered, out=products)
+        sums = ws.scratch((nonempty.size, K))
+        np.add.reduceat(products, starts, axis=0, out=sums)
+        out[lo + nonempty] += sums
 
 
 @checked(invokes("validate_structure", "tiled"))
-def spmm_tiled(tiled: TiledMatrix, X: np.ndarray) -> np.ndarray:
+def spmm_tiled(
+    tiled: TiledMatrix,
+    X: np.ndarray,
+    out: np.ndarray | None = None,
+    *,
+    workspace=None,
+) -> np.ndarray:
     """Two-phase ASpT SpMM: dense tiles through panel buffers, remainder
     row-wise.
 
@@ -65,6 +119,12 @@ def spmm_tiled(tiled: TiledMatrix, X: np.ndarray) -> np.ndarray:
     X:
         Dense operand of shape ``(n_cols, K)``.  Floating dtypes are
         preserved (no up-cast copy of a large ``K``-wide operand).
+    out:
+        Optional preallocated ``(n_rows, K)`` float64 output
+        (overwritten, not accumulated).
+    workspace:
+        Optional pool/workspace for the panel buffers, products scratch
+        and the remainder kernel's scratch (bitwise-identical results).
 
     Returns
     -------
@@ -72,10 +132,30 @@ def spmm_tiled(tiled: TiledMatrix, X: np.ndarray) -> np.ndarray:
         ``Y = tiled.original @ X`` of shape ``(n_rows, K)``.
     """
     X = check_dense("X", X, rows=tiled.original.n_cols, dtype=None)
-    Y = np.zeros((tiled.original.n_rows, X.shape[1]), dtype=np.float64)
-    _panel_dense_spmm(
-        tiled.dense_part, X, tiled.panel_dense_cols, tiled.spec.panel_height, Y
-    )
-    if tiled.sparse_part.nnz:
-        Y += spmm(tiled.sparse_part, X)
+    K = X.shape[1]
+    if out is None:
+        Y = np.zeros((tiled.original.n_rows, K), dtype=np.float64)
+    else:
+        Y = check_dense("out", out, rows=tiled.original.n_rows, cols=K)
+        Y[:] = 0.0
+    ws, owned = as_workspace(workspace)
+    try:
+        _panel_dense_spmm(
+            tiled.dense_part,
+            X,
+            tiled.panel_dense_cols,
+            tiled.spec.panel_height,
+            Y,
+            workspace=ws,
+        )
+        if tiled.sparse_part.nnz:
+            if ws is None:
+                Y += spmm(tiled.sparse_part, X)
+            else:
+                remainder = ws.scratch((tiled.original.n_rows, K))
+                spmm(tiled.sparse_part, X, out=remainder, workspace=ws)
+                np.add(Y, remainder, out=Y)
+    finally:
+        if owned:
+            ws.release()
     return Y

@@ -17,6 +17,7 @@ import numpy as np
 from repro.contracts import checked, validates
 from repro.sparse.csr import CSRMatrix
 from repro.util.validation import check_dense
+from repro.util.workspace import as_workspace
 
 __all__ = ["sddmm", "sddmm_rowwise_reference"]
 
@@ -27,7 +28,7 @@ def sddmm_rowwise_reference(csr: CSRMatrix, X: np.ndarray, Y: np.ndarray) -> CSR
     X = check_dense("X", X, rows=csr.n_cols)
     Y = check_dense("Y", Y, rows=csr.n_rows, cols=X.shape[1])
     K = X.shape[1]
-    out = np.zeros(csr.nnz, dtype=np.float64)
+    out = np.zeros(csr.nnz, dtype=np.float64)  # reprolint: disable=RD105 -- reference oracle: mirrors the paper's pseudocode verbatim, allocation behaviour is part of what it checks
     for i in range(csr.n_rows):
         for j in range(csr.rowptr[i], csr.rowptr[i + 1]):
             acc = 0.0
@@ -39,7 +40,7 @@ def sddmm_rowwise_reference(csr: CSRMatrix, X: np.ndarray, Y: np.ndarray) -> CSR
 
 
 @checked(validates("csr"))
-def sddmm(csr: CSRMatrix, X: np.ndarray, Y: np.ndarray) -> CSRMatrix:
+def sddmm(csr: CSRMatrix, X: np.ndarray, Y: np.ndarray, *, workspace=None) -> CSRMatrix:
     """Vectorised SDDMM.
 
     Parameters
@@ -51,6 +52,12 @@ def sddmm(csr: CSRMatrix, X: np.ndarray, Y: np.ndarray) -> CSRMatrix:
         Floating dtypes are preserved (no up-cast copy).
     Y:
         Dense operand of shape ``(M, K)`` (indexed by ``S``'s rows).
+    workspace:
+        Optional :class:`~repro.util.workspace.WorkspacePool` or
+        :class:`~repro.util.workspace.Workspace`; the two ``nnz * K``
+        gather buffers are leased from it instead of allocated.  The dot
+        products themselves are computed by the same ``einsum`` in the
+        same dtype, so results are bitwise identical either way.
 
     Returns
     -------
@@ -63,5 +70,21 @@ def sddmm(csr: CSRMatrix, X: np.ndarray, Y: np.ndarray) -> CSRMatrix:
     if csr.nnz == 0:
         return csr.copy()
     rows = csr.row_ids()
-    dots = np.einsum("pk,pk->p", Y[rows], X[csr.colidx])
+    ws, owned = as_workspace(workspace)
+    try:
+        if ws is None:
+            dots = np.einsum("pk,pk->p", Y[rows], X[csr.colidx])
+        else:
+            K = X.shape[1]
+            y_gathered = ws.scratch((csr.nnz, K), dtype=Y.dtype)
+            np.take(Y, rows, axis=0, out=y_gathered)
+            x_gathered = ws.scratch((csr.nnz, K), dtype=X.dtype)
+            np.take(X, csr.colidx, axis=0, out=x_gathered)
+            # No out= here: einsum's accumulation dtype must stay the
+            # operands' common dtype for bitwise identity, and the (nnz,)
+            # result escapes into the returned matrix anyway.
+            dots = np.einsum("pk,pk->p", y_gathered, x_gathered)
+    finally:
+        if owned:
+            ws.release()
     return csr.with_values(dots * csr.values)

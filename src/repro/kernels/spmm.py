@@ -12,6 +12,15 @@ Three implementations with one contract:
   ``nnz * K`` floats.
 * :func:`spmm_blocked` — the same algorithm applied to row blocks, capping
   scratch memory for large inputs (the "be easy on the memory" guideline).
+
+Both vectorised kernels accept ``workspace=`` (a
+:class:`~repro.util.workspace.WorkspacePool` or leased
+:class:`~repro.util.workspace.Workspace`): scratch buffers are then leased
+from the pool instead of allocated per call, and the gather / multiply /
+segment-sum run through the ``out=`` forms of the same ufuncs in the same
+operand order — results are bitwise identical to the allocating path
+(asserted in the test suite).  For the repeated-multiply serving case see
+:class:`repro.kernels.KernelSession`.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ import numpy as np
 from repro.contracts import checked, validates
 from repro.sparse.csr import CSRMatrix
 from repro.util.validation import check_dense, check_positive
+from repro.util.workspace import Workspace, as_workspace
 
 __all__ = ["spmm", "spmm_blocked", "spmm_rowwise_reference"]
 
@@ -40,8 +50,58 @@ def spmm_rowwise_reference(csr: CSRMatrix, X: np.ndarray) -> np.ndarray:
     return Y
 
 
+def _gathered_products(
+    values: np.ndarray, X: np.ndarray, cols: np.ndarray, ws: Workspace | None
+) -> np.ndarray:
+    """``values[:, None] * X[cols]`` — through leased scratch when pooled.
+
+    The pooled path gathers with ``np.take(out=)`` and multiplies with
+    ``np.multiply(out=)`` using the same operand order as the allocating
+    expression, so both paths round identically.
+    """
+    if ws is None:
+        return values[:, None] * X[cols]
+    K = X.shape[1]
+    if X.dtype == np.float64:
+        products = ws.scratch((cols.size, K))
+        np.take(X, cols, axis=0, out=products)
+    else:
+        # dtype-preserving gather, then a widening multiply into float64
+        # scratch (float32 -> float64 casts are exact, so the product is
+        # bit-for-bit the promoted multiply of the allocating path).
+        products = ws.scratch((cols.size, K), dtype=X.dtype)
+        np.take(X, cols, axis=0, out=products)
+        widened = ws.scratch((cols.size, K))
+        np.multiply(values[:, None], products, out=widened)
+        return widened
+    np.multiply(values[:, None], products, out=products)
+    return products
+
+
+def _segment_rows(
+    products: np.ndarray,
+    starts: np.ndarray,
+    nonempty: np.ndarray,
+    out_rows: np.ndarray,
+    ws: Workspace | None,
+) -> None:
+    """``out_rows[nonempty] = reduceat(products, starts)`` without allocating."""
+    if ws is None:
+        out_rows[nonempty] = np.add.reduceat(products, starts, axis=0)
+        return
+    sums = ws.scratch((nonempty.size, products.shape[1]))
+    np.add.reduceat(products, starts, axis=0, out=sums)
+    out_rows[nonempty] = sums
+
+
 @checked(validates("csr"))
-def spmm(csr: CSRMatrix, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+def spmm(
+    csr: CSRMatrix,
+    X: np.ndarray,
+    out: np.ndarray | None = None,
+    *,
+    workspace=None,
+) -> np.ndarray:
     """Vectorised SpMM.
 
     Parameters
@@ -55,6 +115,10 @@ def spmm(csr: CSRMatrix, X: np.ndarray, out: np.ndarray | None = None) -> np.nda
     out:
         Optional preallocated ``(M, K)`` output (overwritten, not
         accumulated).
+    workspace:
+        Optional :class:`~repro.util.workspace.WorkspacePool` or
+        :class:`~repro.util.workspace.Workspace`; the ``nnz * K``
+        products scratch is leased from it instead of allocated.
 
     Returns
     -------
@@ -70,40 +134,74 @@ def spmm(csr: CSRMatrix, X: np.ndarray, out: np.ndarray | None = None) -> np.nda
         out[:] = 0.0
     if csr.nnz == 0:
         return out
-    # Gather + scale: products[p] = value[p] * X[col[p]]
-    products = csr.values[:, None] * X[csr.colidx]
-    # Segment-sum the products into rows.  reduceat needs non-empty
-    # segments; route through the shared empty-aware helper semantics.
-    lengths = csr.row_lengths()
-    nonempty = np.flatnonzero(lengths > 0)
-    starts = csr.rowptr[:-1][nonempty]
-    out[nonempty] = np.add.reduceat(products, starts, axis=0)
+    ws, owned = as_workspace(workspace)
+    try:
+        # Gather + scale: products[p] = value[p] * X[col[p]], then
+        # segment-sum into rows (reduceat needs non-empty segments).
+        products = _gathered_products(csr.values, X, csr.colidx, ws)
+        lengths = csr.row_lengths()
+        nonempty = np.flatnonzero(lengths > 0)
+        starts = csr.rowptr[:-1][nonempty]
+        _segment_rows(products, starts, nonempty, out, ws)
+    finally:
+        if owned:
+            ws.release()
     return out
 
 
 @checked(validates("csr"))
 def spmm_blocked(
-    csr: CSRMatrix, X: np.ndarray, *, block_rows: int = 4096
+    csr: CSRMatrix,
+    X: np.ndarray,
+    *,
+    block_rows: int = 4096,
+    out: np.ndarray | None = None,
+    workspace=None,
 ) -> np.ndarray:
     """SpMM with bounded scratch: processes ``block_rows`` rows at a time.
 
     Scratch peaks at ``max_block_nnz * K`` floats instead of ``nnz * K``.
     Results are bitwise identical to :func:`spmm` (same reduction order).
+    Accepts the same ``out=`` / ``workspace=`` as :func:`spmm`; with a
+    workspace, consecutive blocks recycle the same size-class buffers.
     """
     check_positive("block_rows", block_rows)
     X = check_dense("X", X, rows=csr.n_cols, dtype=None)
     K = X.shape[1]
-    Y = np.zeros((csr.n_rows, K), dtype=np.float64)
-    for lo in range(0, csr.n_rows, block_rows):
-        hi = min(lo + block_rows, csr.n_rows)
-        p0, p1 = csr.rowptr[lo], csr.rowptr[hi]
-        if p0 == p1:
-            continue
-        cols = csr.colidx[p0:p1]
-        vals = csr.values[p0:p1]
-        products = vals[:, None] * X[cols]
-        lengths = np.diff(csr.rowptr[lo : hi + 1])
-        nonempty = np.flatnonzero(lengths > 0)
-        starts = (csr.rowptr[lo:hi][nonempty] - p0).astype(np.int64)
-        Y[lo + nonempty] = np.add.reduceat(products, starts, axis=0)
+    if out is None:
+        Y = np.zeros((csr.n_rows, K), dtype=np.float64)
+    else:
+        Y = check_dense("out", out, rows=csr.n_rows, cols=K)
+        Y[:] = 0.0
+    ws, owned = as_workspace(workspace)
+    try:
+        for lo in range(0, csr.n_rows, block_rows):
+            hi = min(lo + block_rows, csr.n_rows)
+            p0, p1 = csr.rowptr[lo], csr.rowptr[hi]
+            if p0 == p1:
+                continue
+            with (ws.pool.lease() if ws is not None else _NULL_LEASE) as block_ws:
+                cols = csr.colidx[p0:p1]
+                vals = csr.values[p0:p1]
+                products = _gathered_products(vals, X, cols, block_ws)
+                lengths = np.diff(csr.rowptr[lo : hi + 1])
+                nonempty = np.flatnonzero(lengths > 0)
+                starts = (csr.rowptr[lo:hi][nonempty] - p0).astype(np.int64)
+                _segment_rows(products, starts, nonempty, Y[lo:hi], block_ws)
+    finally:
+        if owned:
+            ws.release()
     return Y
+
+
+class _NullLease:
+    """Context manager standing in for "no workspace" in the block loop."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return None
+
+
+_NULL_LEASE = _NullLease()

@@ -13,6 +13,8 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from pathlib import Path
 
 from repro.planstore.decisions import PlanDecisions
@@ -33,6 +35,9 @@ class PlanStore:
     cache_dir:
         Optional directory for the persistent tier; ``None`` keeps the
         store purely in-process.
+    max_sessions:
+        Bound of the pinned :meth:`session` cache (sessions hold scratch
+        buffers sized to their matrix, so the cap is deliberately small).
     """
 
     def __init__(
@@ -40,9 +45,13 @@ class PlanStore:
         max_entries: int = 256,
         max_bytes: int = 64 * 1024 * 1024,
         cache_dir=None,
+        max_sessions: int = 8,
     ) -> None:
         self.memory = LRUPlanCache(max_entries=max_entries, max_bytes=max_bytes)
         self.disk = DiskPlanStore(Path(cache_dir)) if cache_dir is not None else None
+        self.max_sessions = max_sessions
+        self._sessions: OrderedDict = OrderedDict()
+        self._session_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> PlanDecisions | None:
@@ -64,6 +73,41 @@ class PlanStore:
             self.disk.put(key, decisions)
 
     # ------------------------------------------------------------------
+    def session(self, csr, config=None, **session_kwargs):
+        """A pinned :class:`~repro.kernels.KernelSession` for ``csr``.
+
+        Builds the execution plan through this store (so repeated calls
+        hit the decision cache) and memoises the resulting session per
+        plan key: the serving path asks once per matrix and every later
+        request reuses the already-pinned scratch and panel remaps.  The
+        memo is LRU-bounded by ``max_sessions`` and keyed on the session
+        keyword arguments too, so e.g. differing ``chunk_k`` values get
+        distinct sessions.
+        """
+        from repro.reorder import ReorderConfig, build_plan
+
+        config = config if config is not None else ReorderConfig()
+        memo_key = (
+            self.key_for(csr, config),
+            tuple(sorted(session_kwargs.items())),
+        )
+        with self._session_lock:
+            cached = self._sessions.get(memo_key)
+            if cached is not None:
+                self._sessions.move_to_end(memo_key)
+                return cached
+        plan = build_plan(csr, config, cache=self)
+        made = plan.session(**session_kwargs)
+        with self._session_lock:
+            cached = self._sessions.get(memo_key)
+            if cached is not None:  # lost a build race: keep the first
+                self._sessions.move_to_end(memo_key)
+                return cached
+            self._sessions[memo_key] = made
+            while len(self._sessions) > self.max_sessions:
+                self._sessions.popitem(last=False)
+        return made
+
     def key_for(self, csr, config) -> str:
         """The cache key ``build_plan`` uses for ``(csr, config)``."""
         return plan_key(csr, config)

@@ -282,6 +282,19 @@ class ExecutionPlan:
             preprocess_seconds={"total": preprocess_total},
         )
 
+    def session(self, **kwargs):
+        """A :class:`~repro.kernels.KernelSession` pinned on this plan.
+
+        The session multiplies in original coordinates exactly like
+        :meth:`spmm` (bitwise — asserted by :meth:`validate`) but hoists
+        the per-call panel remaps and scratch allocation, so it is the
+        preferred interface for repeated multiplies against one plan.
+        Keyword arguments are forwarded to the session constructor.
+        """
+        from repro.kernels import KernelSession
+
+        return KernelSession(self, **kwargs)
+
     def validate(self, X: np.ndarray | None = None, seed: int = 0) -> None:
         """Self-check: plan results must match the direct kernels."""
         rng = np.random.default_rng(seed)
@@ -290,6 +303,9 @@ class ExecutionPlan:
         np.testing.assert_allclose(
             self.spmm(X), spmm(self.original, X), rtol=1e-10, atol=1e-9
         )
+        # The pinned-session path must agree with the one-shot plan
+        # multiply bit for bit (same products, same accumulation order).
+        np.testing.assert_array_equal(self.session().run(X), self.spmm(X))
         Y = rng.normal(size=(self.original.n_rows, X.shape[1]))
         got = self.sddmm(X, Y)
         want = sddmm(self.original, X, Y)

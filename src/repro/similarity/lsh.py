@@ -25,6 +25,7 @@ cap for exact-recall experiments.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -50,16 +51,29 @@ def _band_keys(band: np.ndarray, rng: np.random.Generator) -> np.ndarray:
 #: Cache of ``np.triu_indices(size, k=1)`` results.  Buckets are small and
 #: sizes repeat constantly (profiling showed >170K triu_indices calls per
 #: corpus matrix), so memoising removes the dominant preprocessing cost.
+#: The cache is module-global and therefore shared by every thread of the
+#: serving path: access is serialised by a lock, and the entry count is
+#: bounded (distinct bucket sizes could otherwise grow without limit over
+#: a long-lived process) — on overflow the oldest entries are dropped,
+#: FIFO, which is plenty since real workloads cycle through a small set
+#: of small sizes.
 _TRIU_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+_TRIU_CACHE_LOCK = threading.Lock()
+_TRIU_CACHE_MAX_ENTRIES = 512
+_TRIU_CACHE_MAX_SIZE = 4096  # don't keep giant one-off buckets alive
 
 
 def _triu(size: int) -> tuple[np.ndarray, np.ndarray]:
     """Memoised upper-triangle index pairs for a ``size``-member bucket."""
-    cached = _TRIU_CACHE.get(size)
+    with _TRIU_CACHE_LOCK:
+        cached = _TRIU_CACHE.get(size)
     if cached is None:
         cached = np.triu_indices(size, k=1)
-        if size <= 4096:  # don't keep giant one-off buckets alive
-            _TRIU_CACHE[size] = cached
+        if size <= _TRIU_CACHE_MAX_SIZE:
+            with _TRIU_CACHE_LOCK:
+                while len(_TRIU_CACHE) >= _TRIU_CACHE_MAX_ENTRIES:
+                    _TRIU_CACHE.pop(next(iter(_TRIU_CACHE)))
+                _TRIU_CACHE[size] = cached
     return cached
 
 

@@ -21,11 +21,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sparse.csr import CSRMatrix
-from repro.util.arrayops import segment_min
 from repro.util.rng import as_generator
 from repro.util.validation import check_positive
 
 __all__ = ["minhash_signatures", "MERSENNE_PRIME", "EMPTY_ROW_SENTINEL"]
+
+#: Hash functions evaluated per blocked pass.  Bounds the ``(block, nnz)``
+#: scratch while amortising the per-function NumPy call overhead; 32
+#: functions x a corpus-scale nnz stays well inside the last-level cache.
+HASH_BLOCK = 32
 
 #: Modulus of the universal hash family.  2**31 - 1 keeps a*c + b < 2**62.
 MERSENNE_PRIME = np.int64(2**31 - 1)
@@ -67,10 +71,26 @@ def minhash_signatures(csr: CSRMatrix, siglen: int, seed=None) -> np.ndarray:
     b = rng.integers(0, int(p), size=siglen, dtype=np.int64)
 
     cols = csr.colidx % p  # column universe folded into the field
-    empty = csr.row_lengths() == 0
-    for k in range(siglen):
-        hashed = (a[k] * cols + b[k]) % p
-        out[:, k] = segment_min(hashed, csr.rowptr)
+    lengths = csr.row_lengths()
+    empty = lengths == 0
+    nonempty = np.flatnonzero(lengths > 0)
+    if nonempty.size:
+        starts = np.ascontiguousarray(csr.rowptr[:-1][nonempty])
+        # Hash functions are evaluated in blocks of HASH_BLOCK: one
+        # broadcast multiply-add-mod produces a (block, nnz) matrix whose
+        # *rows* are contiguous, so the per-row segment minima reduce
+        # along contiguous memory.  ``a*c + b < 2**62``, so the blocked
+        # int64 arithmetic is exact — signatures are identical to the
+        # one-function-at-a-time evaluation.
+        block = max(1, min(HASH_BLOCK, siglen))
+        hashed = np.empty((block, csr.nnz), dtype=np.int64)
+        for k0 in range(0, siglen, block):
+            k1 = min(k0 + block, siglen)
+            h = hashed[: k1 - k0]
+            np.multiply(a[k0:k1, None], cols[None, :], out=h)
+            h += b[k0:k1, None]
+            h %= p
+            out[nonempty, k0:k1] = np.minimum.reduceat(h, starts, axis=1).T
     if empty.any():
         out[empty, :] = EMPTY_ROW_SENTINEL
     return out

@@ -3,8 +3,9 @@
 The utilities here are deliberately tiny and dependency-free (NumPy only):
 argument validation (:mod:`repro.util.validation`), deterministic RNG
 handling (:mod:`repro.util.rng`), wall-clock timing (:mod:`repro.util.timing`),
-lightweight logging (:mod:`repro.util.log`) and vectorised array primitives
-(:mod:`repro.util.arrayops`).
+lightweight logging (:mod:`repro.util.log`), vectorised array primitives
+(:mod:`repro.util.arrayops`) and the reusable scratch-buffer pool backing
+the zero-allocation kernel paths (:mod:`repro.util.workspace`).
 """
 
 from repro.util.arrayops import (
@@ -19,6 +20,7 @@ from repro.util.arrayops import (
 from repro.util.hashing import digest_arrays, stable_digest
 from repro.util.rng import as_generator, spawn_generators
 from repro.util.timing import Timer, timed
+from repro.util.workspace import Workspace, WorkspacePool
 from repro.util.validation import (
     check_dense,
     check_in_range,
@@ -42,6 +44,8 @@ __all__ = [
     "spawn_generators",
     "Timer",
     "timed",
+    "Workspace",
+    "WorkspacePool",
     "check_dense",
     "check_in_range",
     "check_integer_array",

@@ -1,0 +1,214 @@
+"""Size-class scratch-buffer pool for the zero-allocation kernel paths.
+
+The paper's whole argument is data-movement reduction, and the serving
+story (ROADMAP north star) multiplies the *same* matrix thousands of times.
+Allocating the ``O(nnz * K)`` products scratch on every call churns the
+allocator and the page cache for no benefit: the buffer shapes repeat
+call after call.  :class:`WorkspacePool` keeps freed blocks in per
+``(dtype, size-class)`` freelists so steady-state kernel calls allocate
+nothing, and :class:`Workspace` scopes a set of leased blocks to one
+kernel invocation (or to a long-lived :class:`~repro.kernels.KernelSession`).
+
+Design notes
+------------
+* Size classes are next-power-of-two element counts: a request for
+  ``n`` elements is served by a block of ``2**ceil(log2(n))`` elements,
+  so buffers whose sizes wobble slightly (per-block nnz, per-panel
+  column counts) still hit the same freelist.  Worst-case internal
+  fragmentation is 2x, bounded and predictable.
+* The pool is thread-safe (one lock around the freelists) and bounded:
+  blocks returned past ``max_bytes`` of held memory are dropped
+  (counted as evictions) instead of retained.
+* ``hits`` / ``misses`` / ``evictions`` counters make reuse observable —
+  the perf-regression gate asserts steady-state calls stop allocating.
+
+Correctness contract: pooled kernel paths gather/multiply/reduce into
+leased buffers with the *same operand order* as the allocating paths, so
+results are bitwise identical (asserted by the oracle tests).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["Workspace", "WorkspacePool", "as_workspace"]
+
+
+def _size_class(n_elements: int) -> int:
+    """Smallest power of two >= ``n_elements`` (class 1 for empty buffers)."""
+    if n_elements <= 1:
+        return 1
+    return 1 << (int(n_elements) - 1).bit_length()
+
+
+class WorkspacePool:
+    """Thread-safe, bounded pool of reusable scratch blocks.
+
+    Parameters
+    ----------
+    max_bytes:
+        Upper bound on the total bytes of *idle* blocks retained in the
+        freelists.  Blocks released beyond the bound are dropped (an
+        *eviction*).  Leased blocks are not counted — the bound caps the
+        pool's parked memory, not the caller's working set.
+
+    Examples
+    --------
+    >>> pool = WorkspacePool()
+    >>> with pool.lease() as ws:
+    ...     scratch = ws.scratch((4, 8))
+    >>> pool.stats()["misses"]
+    1
+    >>> with pool.lease() as ws:          # same size class: no allocation
+    ...     scratch = ws.scratch((4, 8))
+    >>> pool.stats()["hits"]
+    1
+    """
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024) -> None:
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._free: dict[tuple[str, int], list[np.ndarray]] = {}
+        self._held_bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def lease(self) -> "Workspace":
+        """A fresh :class:`Workspace` scoped to this pool.
+
+        Use as a context manager so every leased block returns to the
+        freelists when the kernel call finishes.
+        """
+        return Workspace(self)
+
+    def take(self, shape, dtype=np.float64) -> np.ndarray:
+        """Lease one C-contiguous array of ``shape``/``dtype``.
+
+        The returned array is a view of a pooled block; hand it back with
+        :meth:`give` (or lease through a :class:`Workspace`, which tracks
+        and returns blocks for you).  Contents are uninitialised.
+        """
+        dtype = np.dtype(dtype)
+        shape = (int(shape),) if np.isscalar(shape) else tuple(int(s) for s in shape)
+        n = 1
+        for s in shape:
+            if s < 0:
+                raise ValueError(f"negative dimension in shape {shape}")
+            n *= s
+        cls = _size_class(n)
+        key = (dtype.str, cls)
+        with self._lock:
+            freelist = self._free.get(key)
+            if freelist:
+                block = freelist.pop()
+                self._held_bytes -= block.nbytes
+                self._hits += 1
+            else:
+                block = None
+                self._misses += 1
+        if block is None:
+            block = np.empty(cls, dtype=dtype)
+        return block[:n].reshape(shape)
+
+    def give(self, array: np.ndarray) -> None:
+        """Return a block leased with :meth:`take` to the freelists."""
+        block = array
+        while block.base is not None:
+            block = block.base
+        if not isinstance(block, np.ndarray) or block.ndim != 1:
+            raise ValueError("give() expects an array leased from this pool")
+        key = (block.dtype.str, block.size)
+        with self._lock:
+            if self._held_bytes + block.nbytes > self.max_bytes:
+                self._evictions += 1
+                return
+            self._free.setdefault(key, []).append(block)
+            self._held_bytes += block.nbytes
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every idle block (leased blocks are unaffected)."""
+        with self._lock:
+            self._free.clear()
+            self._held_bytes = 0
+
+    @property
+    def held_bytes(self) -> int:
+        """Bytes currently parked in the freelists."""
+        with self._lock:
+            return self._held_bytes
+
+    def stats(self) -> dict:
+        """Counter snapshot: hits, misses, evictions, held_bytes."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "held_bytes": self._held_bytes,
+            }
+
+
+class Workspace:
+    """A scoped set of scratch arrays leased from a :class:`WorkspacePool`.
+
+    Kernels take ``workspace=`` and call :meth:`scratch` for every
+    temporary; on :meth:`release` (or context-manager exit) all blocks
+    go back to the pool.  A workspace may be long-lived — a
+    :class:`~repro.kernels.KernelSession` holds one per call so repeated
+    multiplies recycle the same blocks.
+
+    Scratch arrays are only valid until release; they must never escape
+    into a returned value (kernel outputs are caller-owned arrays).
+    """
+
+    __slots__ = ("pool", "_leased")
+
+    def __init__(self, pool: WorkspacePool) -> None:
+        self.pool = pool
+        self._leased: list[np.ndarray] = []
+
+    def scratch(self, shape, dtype=np.float64) -> np.ndarray:
+        """Lease one uninitialised C-contiguous scratch array."""
+        array = self.pool.take(shape, dtype)
+        self._leased.append(array)
+        return array
+
+    def release(self) -> None:
+        """Return every leased block to the pool."""
+        leased, self._leased = self._leased, []
+        for array in leased:
+            self.pool.give(array)
+
+    def __enter__(self) -> "Workspace":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+def as_workspace(workspace) -> tuple[Workspace | None, bool]:
+    """Normalise a kernel ``workspace=`` argument.
+
+    Kernels accept ``None`` (allocate normally), a :class:`WorkspacePool`
+    (lease a fresh workspace for this one call) or a :class:`Workspace`
+    (caller manages the lease — used by long-lived sessions).  Returns
+    ``(workspace_or_none, owned)`` where ``owned`` tells the kernel it
+    must release the workspace when it finishes.
+    """
+    if workspace is None:
+        return None, False
+    if isinstance(workspace, WorkspacePool):
+        return workspace.lease(), True
+    if isinstance(workspace, Workspace):
+        return workspace, False
+    raise TypeError(
+        "workspace must be a WorkspacePool, a Workspace or None, got "
+        f"{type(workspace).__name__}"
+    )

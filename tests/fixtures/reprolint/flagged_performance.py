@@ -1,0 +1,20 @@
+"""Fixture: every RD105 nnz-scratch allocation in this file fires."""
+
+import numpy as np
+
+
+def spmm_scratch(csr, X):
+    """RD105 twice: per-call nnz-proportional scratch, no workspace."""
+    products = np.zeros(csr.nnz, dtype=np.float64)
+    gathered = np.empty((4, csr.nnz))
+    return products, gathered
+
+
+def kw_shape(csr):
+    """RD105: shape passed as a keyword argument."""
+    return np.empty(shape=(csr.nnz, 2))
+
+
+def bare_name(nnz):
+    """RD105: a bare ``nnz`` variable counts too."""
+    return np.zeros(nnz)

@@ -1,0 +1,109 @@
+"""Unit tests for the perf-regression gate logic (repro.bench.gate).
+
+The suites themselves run real workloads and are exercised by CI's
+``bench-gate`` job; here we test the *gating* logic — comparison,
+tolerance semantics, report formatting — on synthetic documents.
+"""
+
+import pytest
+
+from repro.bench import SUITES, compare_results, run_suite
+from repro.bench.gate import DEFAULT_TOLERANCE, baseline_path, format_report
+
+
+def doc(metrics=None, speedups=None):
+    return {
+        "name": "fake",
+        "metrics": {
+            k: {"median_ms": v, "p95_ms": v, "repeats": 3}
+            for k, v in (metrics or {}).items()
+        },
+        "speedups": dict(speedups or {}),
+    }
+
+
+class TestCompareResults:
+    def test_within_tolerance_is_ok(self):
+        rows = compare_results(
+            doc({"spmm": 100.0}), doc({"spmm": 120.0}), tolerance=0.25
+        )
+        assert rows == [
+            {
+                "kind": "metric",
+                "name": "spmm",
+                "baseline": 100.0,
+                "current": 120.0,
+                "ratio": 1.2,
+                "regressed": False,
+            }
+        ]
+
+    def test_metric_regresses_upward(self):
+        rows = compare_results(
+            doc({"spmm": 100.0}), doc({"spmm": 130.0}), tolerance=0.25
+        )
+        assert rows[0]["regressed"]
+
+    def test_metric_improvement_never_regresses(self):
+        rows = compare_results(
+            doc({"spmm": 100.0}), doc({"spmm": 10.0}), tolerance=0.25
+        )
+        assert not rows[0]["regressed"]
+
+    def test_speedup_regresses_downward(self):
+        base = doc(speedups={"session_vs_oneshot": 3.0})
+        ok = compare_results(base, doc(speedups={"session_vs_oneshot": 2.4}), 0.25)
+        bad = compare_results(base, doc(speedups={"session_vs_oneshot": 2.0}), 0.25)
+        assert not ok[0]["regressed"]
+        assert bad[0]["regressed"]
+
+    def test_speedup_improvement_never_regresses(self):
+        rows = compare_results(
+            doc(speedups={"s": 3.0}), doc(speedups={"s": 9.0}), 0.25
+        )
+        assert not rows[0]["regressed"]
+
+    def test_non_shared_metrics_are_skipped(self):
+        rows = compare_results(
+            doc({"old_only": 5.0}), doc({"new_only": 5.0}), 0.25
+        )
+        assert rows == []
+
+    def test_tolerance_is_relative(self):
+        rows = compare_results(doc({"m": 10.0}), doc({"m": 10.9}), tolerance=0.1)
+        assert not rows[0]["regressed"]
+        rows = compare_results(doc({"m": 10.0}), doc({"m": 11.1}), tolerance=0.1)
+        assert rows[0]["regressed"]
+
+    def test_zero_baseline_does_not_divide(self):
+        rows = compare_results(doc({"m": 0.0}), doc({"m": 5.0}), 0.25)
+        assert rows[0]["ratio"] == 1.0
+
+
+class TestFormatReport:
+    def test_mentions_every_row_and_verdict(self):
+        rows = compare_results(
+            doc({"spmm": 100.0}, {"s": 3.0}),
+            doc({"spmm": 180.0}, {"s": 3.1}),
+            DEFAULT_TOLERANCE,
+        )
+        text = format_report("kernels", rows, DEFAULT_TOLERANCE)
+        assert "suite kernels" in text
+        assert "spmm" in text and "REGRESSED" in text
+        assert "s" in text and "ok" in text
+
+    def test_empty_comparison_is_explicit(self):
+        text = format_report("kernels", [], DEFAULT_TOLERANCE)
+        assert "no shared metrics" in text
+
+
+class TestSuiteRegistry:
+    def test_registered_suites(self):
+        assert set(SUITES) == {"kernels", "preproc"}
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench suite"):
+            run_suite("nope")
+
+    def test_baseline_path_layout(self, tmp_path):
+        assert baseline_path("kernels", tmp_path) == tmp_path / "BENCH_kernels.json"

@@ -216,3 +216,73 @@ class TestOrdering:
     def test_order_from_clusters_wrong_cover(self):
         with pytest.raises(ValueError):
             order_from_clusters({0: np.array([0, 1])}, 4)
+
+
+class TestBatchScoringInternals:
+    """Invariants the batch-scored rewrite of Alg. 3 relies on."""
+
+    @staticmethod
+    def _random_matrix(rng, n_rows=24, n_cols=40):
+        # Deliberately varied row lengths so the measure upper bounds are
+        # non-trivial (< 1.0) and requeued pairs can accumulate in batches.
+        dense = np.zeros((n_rows, n_cols))
+        for i in range(n_rows):
+            k = int(rng.integers(1, 1 + min(n_cols, 2 + 3 * (i % 7))))
+            cols = rng.choice(n_cols, size=k, replace=False)
+            dense[i, cols] = 1.0
+        from repro.sparse import CSRMatrix
+
+        return CSRMatrix.from_dense(dense)
+
+    @pytest.mark.parametrize("measure", ["jaccard", "cosine", "overlap", "dice"])
+    def test_scalar_score_bitwise_matches_vector_path(self, rng, measure):
+        from repro.clustering.hierarchical import _scalar_score
+        from repro.similarity import similarity_for_pairs
+
+        csr = self._random_matrix(rng)
+        supports = [
+            frozenset(csr.colidx[csr.rowptr[i] : csr.rowptr[i + 1]].tolist())
+            for i in range(csr.n_rows)
+        ]
+        pairs = np.array(
+            [[i, j] for i in range(csr.n_rows) for j in range(i + 1, csr.n_rows)],
+            dtype=np.int64,
+        )
+        vector = similarity_for_pairs(csr, pairs, measure)
+        for (i, j), want in zip(pairs.tolist(), vector.tolist()):
+            inter = len(supports[i] & supports[j])
+            got = _scalar_score(measure, inter, len(supports[i]), len(supports[j]))
+            assert got == want  # bitwise, not approximate
+
+    @pytest.mark.parametrize("measure", ["jaccard", "cosine", "overlap", "dice"])
+    def test_upper_bound_is_admissible(self, rng, measure):
+        from repro.clustering.hierarchical import _upper_bound_fn
+        from repro.similarity import similarity_for_pairs
+
+        csr = self._random_matrix(rng)
+        lens = csr.row_lengths().tolist()
+        bound = _upper_bound_fn(measure, lens)
+        pairs = np.array(
+            [[i, j] for i in range(csr.n_rows) for j in range(i + 1, csr.n_rows)],
+            dtype=np.int64,
+        )
+        sims = similarity_for_pairs(csr, pairs, measure)
+        for (i, j), s in zip(pairs.tolist(), sims.tolist()):
+            assert bound(i, j) >= s
+
+    @pytest.mark.parametrize("measure", ["jaccard", "dice"])
+    def test_requeue_path_is_deterministic(self, rng, measure):
+        from repro.similarity import LSHIndex
+
+        csr = self._random_matrix(rng, n_rows=48, n_cols=32)
+        pairs, sims = LSHIndex(siglen=32, bsize=2, seed=3).candidate_pairs(csr)
+        if measure != "jaccard":
+            from repro.similarity import similarity_for_pairs
+
+            sims = similarity_for_pairs(csr, pairs, measure)
+        first = cluster_rows(csr, pairs, sims, threshold_size=8, measure=measure)
+        second = cluster_rows(csr, pairs, sims, threshold_size=8, measure=measure)
+        assert first.n_requeued > 0  # the re-scoring path actually ran
+        assert first.order.tolist() == second.order.tolist()
+        assert first.cluster_of.tolist() == second.cluster_of.tolist()
+        assert sorted(first.order.tolist()) == list(range(csr.n_rows))
