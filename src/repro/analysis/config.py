@@ -51,8 +51,11 @@ DEFAULT_SCOPES: dict[str, tuple[str, ...]] = {
     "workspace-scratch-paths": ("repro/kernels",),
     # RD203: packages whose public entry points must validate sparse args.
     "entrypoint-paths": ("repro/sparse", "repro/aspt", "repro/reorder"),
-    # RD303 applies to library code only...
+    # RD106/RD303 apply to library code only...
     "library-paths": ("repro",),
+    # RD106 exemption: the resilience layer itself is where broad catches
+    # are the mechanism (fault translation, quarantine, journalling).
+    "resilience-exempt-paths": ("repro/resilience",),
     # ...and is exempt where printing *is* the job (CLI front ends).
     "print-exempt-paths": ("repro/cli.py", "repro/analysis/cli.py"),
     # RD304: modules containing repro CLI handler functions.

@@ -6,7 +6,8 @@ Importing this package registers every rule into
 * :mod:`repro.analysis.rules.determinism` — RD101-RD104
 * :mod:`repro.analysis.rules.performance` — RD105 (hot-path allocations)
 * :mod:`repro.analysis.rules.numerical` — RD2xx
-* :mod:`repro.analysis.rules.hygiene` — RD3xx
+* :mod:`repro.analysis.rules.hygiene` — RD3xx, plus RD106 (broad except
+  handlers that would swallow resilience-layer control exceptions)
 """
 
 from repro.analysis.rules import determinism, hygiene, numerical, performance

@@ -1,10 +1,17 @@
-"""RD3xx — hygiene rules.
+"""RD3xx — hygiene rules (plus RD106, the resilience-contract catch rule).
 
 General Python failure modes that have outsized blast radius in a
 numerical library: bare ``except`` swallowing ``KeyboardInterrupt`` and
 real bugs, mutable default arguments shared across calls, ``print`` in
 library code bypassing logging, and CLI handlers that surface raw
 tracebacks instead of structured :mod:`repro.errors` exit codes.
+
+RD106 lives here too despite its band number: broad ``except Exception``
+handlers in library code silently swallow the resilience layer's control
+exceptions (:class:`repro.errors.TimeoutExceeded`,
+:class:`repro.errors.WorkspaceExhausted`, injected faults), which defeats
+the degradation ladder and makes chaos runs nondeterministic — hence the
+determinism-band code.
 """
 
 from __future__ import annotations
@@ -14,11 +21,61 @@ import ast
 from repro.analysis.core import FileContext, Rule, register
 
 __all__ = [
+    "BroadExceptRule",
     "BareExceptRule",
     "MutableDefaultRule",
     "PrintInLibraryRule",
     "UnroutedCliHandlerRule",
 ]
+
+
+@register
+class BroadExceptRule(Rule):
+    """RD106: ``except Exception``/``except BaseException`` outside the
+    resilience layer.
+
+    The resilience layer signals through exceptions — ``TimeoutExceeded``
+    drives the degradation ladder, ``WorkspaceExhausted`` drives the
+    kernel-session fallback, and the chaos suite injects faults that must
+    surface.  A broad catch anywhere else in the library absorbs those
+    signals and turns a controlled degradation into a silent wrong path.
+    Catch named exception types; where capture really is the job (e.g. a
+    pool worker marshalling failures), suppress with
+    ``# reprolint: disable=RD106 -- <why>``.  Bare ``except`` (broader
+    still) is RD301.
+    """
+
+    code = "RD106"
+    name = "broad-except"
+    summary = (
+        "except Exception/BaseException swallows resilience-layer control "
+        "exceptions; catch named types"
+    )
+
+    scope_key = "library-paths"
+    exempt_key = "resilience-exempt-paths"
+
+    _BROAD = ("Exception", "BaseException")
+
+    def _broad_names(self, type_node: ast.AST):
+        """Yield the broad names appearing in an ``except`` type expression."""
+        nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        for node in nodes:
+            if isinstance(node, ast.Name) and node.id in self._BROAD:
+                yield node.id
+
+    def visit(self, ctx: FileContext):
+        """Flag handlers whose type mentions ``Exception``/``BaseException``."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue
+            for name in self._broad_names(node.type):
+                yield ctx.finding(
+                    node, self.code,
+                    f"except {name} swallows TimeoutExceeded/WorkspaceExhausted "
+                    "and injected faults, defeating the degradation ladder; "
+                    "catch named exception types",
+                )
 
 
 @register

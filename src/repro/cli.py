@@ -4,6 +4,8 @@ Subcommands::
 
     repro corpus    [--scale S] [--repeats N]        # list the corpus
     repro run       [--scale S] [--k 512 1024] [--out results.json]
+                    [--resume] [--stage-deadline S]  # crash-safe, resumable
+    repro doctor    [--plan-cache-dir DIR] [--checkpoint PATH] [--heal]
     repro table     {1,2,3,4} --records results.json
     repro figure    {8,9,10,11,12} --records results.json [--k K]
     repro metis     [--scale S] [--k K]
@@ -17,6 +19,11 @@ Subcommands::
 
 ``repro run`` executes the corpus experiment and writes the JSON records
 every other subcommand consumes; see DESIGN.md for the experiment index.
+Every run journals per-matrix checkpoints next to ``--out`` (override with
+``--checkpoint``); after a crash or Ctrl-C, ``repro run --resume``
+recomputes only the unfinished matrices, and ``repro doctor`` reports
+journal progress plus plan-cache health (``--heal`` restores quarantined
+cache entries whose checksums still verify).  See docs/RESILIENCE.md.
 
 Handlers are registered with :func:`cli_handler`, which lets :func:`main`
 route every :class:`repro.errors.ReproError` (and ``OSError``) through the
@@ -29,7 +36,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import EXIT_IO, ReproError, exit_code_for, format_cli_error
+from repro.errors import (
+    EXIT_INTERRUPTED,
+    EXIT_IO,
+    ReproError,
+    exit_code_for,
+    format_cli_error,
+)
 
 __all__ = ["main", "build_parser", "cli_handler"]
 
@@ -82,6 +95,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan-cache-dir", metavar="DIR", default=None,
         help="persistent plan-store directory; repeated sweeps over the "
         "same corpus skip the reordering stages",
+    )
+    r.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="journal path for crash-safe per-matrix checkpoints "
+        "(default: <--out>.journal)",
+    )
+    r.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep from the checkpoint journal, "
+        "recomputing only unfinished matrices",
+    )
+    r.add_argument(
+        "--stage-deadline", type=float, metavar="SECONDS", default=None,
+        help="per-rung preprocessing stage deadline; builds that exceed it "
+        "degrade down the ladder (full -> round1-only -> identity -> "
+        "untiled-csr) instead of failing",
+    )
+
+    dr = sub.add_parser(
+        "doctor", help="inspect (and optionally heal) sweep/cache health"
+    )
+    dr.add_argument(
+        "--plan-cache-dir", metavar="DIR", default=None,
+        help="plan-store directory to inspect for quarantined entries",
+    )
+    dr.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="sweep journal to summarise (progress, in-flight matrices)",
+    )
+    dr.add_argument(
+        "--heal", action="store_true",
+        help="restore quarantined plan-cache entries whose checksums "
+        "still verify",
     )
 
     t = sub.add_parser("table", help="print a paper table from saved records")
@@ -237,6 +283,7 @@ def _cmd_corpus(args) -> int:
 def _cmd_run(args) -> int:
     from repro.experiments import ExperimentConfig, run_experiment, save_records
     from repro.reorder import ReorderConfig
+    from repro.resilience import ResiliencePolicy
     from repro.util.log import enable_console_logging
 
     enable_console_logging()
@@ -251,11 +298,42 @@ def _cmd_run(args) -> int:
         ),
         verify=args.verify,
         plan_cache_dir=args.plan_cache_dir,
+        resilience=(
+            ResiliencePolicy(deadline_s=args.stage_deadline)
+            if args.stage_deadline is not None
+            else None
+        ),
     )
-    records = run_experiment(config, progress=args.jobs == 1, n_jobs=args.jobs)
+    checkpoint = args.checkpoint or f"{args.out}.journal"
+    records = run_experiment(
+        config,
+        progress=args.jobs == 1,
+        n_jobs=args.jobs,
+        checkpoint=checkpoint,
+        resume=args.resume,
+    )
     save_records(records, args.out)
     print(f"wrote {len(records)} records to {args.out}")
+    degraded = sorted({r.name for r in records if r.degradation})
+    if degraded:
+        print(
+            f"note: {len(degraded)} matrices built below the full "
+            "degradation-ladder rung (see the 'degradation' record field)"
+        )
     return 0
+
+
+@cli_handler("doctor")
+def _cmd_doctor(args) -> int:
+    from repro.resilience import doctor_report
+
+    text, problems = doctor_report(
+        cache_dir=args.plan_cache_dir,
+        checkpoint=args.checkpoint,
+        heal=args.heal,
+    )
+    print(text)
+    return 1 if problems else 0
 
 
 @cli_handler("table")
@@ -480,6 +558,12 @@ def main(argv=None) -> int:
     except OSError as exc:
         print(format_cli_error(args.command, exc), file=sys.stderr)
         return EXIT_IO
+    except KeyboardInterrupt:
+        # The runner has already flushed its checkpoint journal by the
+        # time the interrupt propagates here (see run_experiment), so the
+        # user can pick up with `repro run --resume`.
+        print(f"repro {args.command}: interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":  # pragma: no cover

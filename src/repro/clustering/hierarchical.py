@@ -64,6 +64,7 @@ import numpy as np
 from repro.clustering.ordering import clusters_from_forest, order_from_clusters
 from repro.clustering.union_find import UnionFind
 from repro.errors import ValidationError
+from repro.resilience.faults import fault_point
 from repro.similarity.measures import similarity_for_pairs
 from repro.sparse.csr import CSRMatrix
 from repro.util.validation import check_positive
@@ -171,6 +172,7 @@ def cluster_rows(
     *,
     threshold_size: int = 256,
     measure: str = "jaccard",
+    deadline=None,
 ) -> ClusteringResult:
     """Run Alg. 3's clustering loop on precomputed candidate pairs.
 
@@ -188,6 +190,12 @@ def cluster_rows(
     measure:
         Similarity used to re-score re-queued representative pairs
         (``"jaccard"`` per the paper; see :data:`repro.similarity.MEASURES`).
+    deadline:
+        Optional :class:`repro.resilience.Deadline`; the merge loop polls
+        it every 4096 iterations and aborts with
+        :class:`repro.errors.TimeoutExceeded` when the budget is spent
+        (cooperative cancellation — no partial state escapes, the caller
+        simply drops the run).
 
     Returns
     -------
@@ -200,6 +208,7 @@ def cluster_rows(
     if sims.size != pairs.shape[0]:
         raise ValidationError("pairs and sims must have equal length")
     threshold_size = check_positive("threshold_size", threshold_size)
+    fault_point("clustering.cluster")
     if measure not in ("jaccard", "cosine", "overlap", "dice"):
         # Fail before the loop with the standard message.
         similarity_for_pairs(csr, np.empty((0, 2), dtype=np.int64), measure)
@@ -244,8 +253,14 @@ def cluster_rows(
     n_merges = 0
     n_retired = 0
     n_requeued = 0
+    iters = 0
 
     while live_clusters > 0 and (spos < send or rq or pending):
+        # Poll the deadline between complete merge steps, amortised so the
+        # common deadline-free path pays one compare per iteration.
+        iters += 1
+        if deadline is not None and not iters & 4095:
+            deadline.check("cluster")
         if pending:
             if spos < send:
                 top_neg = stream_s[spos]

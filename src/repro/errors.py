@@ -16,11 +16,18 @@ __all__ = [
     "ConfigError",
     "SimulationError",
     "DatasetError",
+    "ReproIOError",
+    "TimeoutExceeded",
+    "CorruptStoreError",
+    "WorkspaceExhausted",
+    "DegradedExecution",
     "EXIT_OK",
     "EXIT_FAILURE",
     "EXIT_USAGE",
     "EXIT_DATA",
     "EXIT_IO",
+    "EXIT_TIMEOUT",
+    "EXIT_INTERRUPTED",
     "exit_code_for",
     "format_cli_error",
 ]
@@ -59,6 +66,58 @@ class DatasetError(ReproError, RuntimeError):
     """A dataset generator or corpus entry could not produce a matrix."""
 
 
+class ReproIOError(ReproError, OSError):
+    """A filesystem operation failed, annotated with the path involved.
+
+    Raised instead of letting a raw :class:`OSError` escape library entry
+    points (e.g. :func:`repro.sparse.read_matrix_market`), so callers can
+    catch the :class:`ReproError` family while ``exit_code_for`` still
+    routes the failure to :data:`EXIT_IO` via the ``OSError`` base.
+    """
+
+
+class TimeoutExceeded(ReproError, RuntimeError):
+    """A pipeline stage blew its cooperative deadline.
+
+    Carries the stage name and the budget for diagnostics; raised by
+    :meth:`repro.resilience.Deadline.check` from polling points inside
+    MinHash, LSH and the clustering loop, and by injected stage-timeout
+    faults.  The degradation ladder in :func:`repro.reorder.build_plan`
+    catches it and falls back to a cheaper rung.
+    """
+
+    def __init__(self, message: str, *, stage: str = "", budget_s: float = 0.0):
+        super().__init__(message)
+        self.stage = stage
+        self.budget_s = budget_s
+
+
+class CorruptStoreError(ReproError, RuntimeError):
+    """A plan-store entry failed checksum or structural validation.
+
+    The disk tier quarantines the entry and treats the lookup as a miss;
+    the error only escapes when a caller reads an entry directly (e.g.
+    ``repro doctor`` inspecting quarantine contents).
+    """
+
+
+class WorkspaceExhausted(ReproError, MemoryError):
+    """A workspace pool could not serve a scratch lease within its cap.
+
+    :class:`repro.kernels.KernelSession` catches this and falls back to
+    direct allocation (bitwise-identical results, no pooling benefit).
+    """
+
+
+class DegradedExecution(UserWarning):
+    """Warning category for degraded-but-correct execution.
+
+    Emitted when the degradation ladder settles on a rung below ``full``
+    or a kernel session falls back from pooled to direct allocation.
+    Results remain correct; performance characteristics do not.
+    """
+
+
 # ----------------------------------------------------------------------
 # CLI exit-code mapping
 # ----------------------------------------------------------------------
@@ -69,16 +128,21 @@ class DatasetError(ReproError, RuntimeError):
 EXIT_OK = 0  #: success
 EXIT_FAILURE = 1  #: generic failure (lint findings, per-item build failures)
 EXIT_USAGE = 2  #: bad argument values (ValidationError/ShapeError/ConfigError)
-EXIT_DATA = 3  #: malformed input data (FormatError/DatasetError)
+EXIT_DATA = 3  #: malformed input data (FormatError/DatasetError/CorruptStoreError)
 EXIT_IO = 4  #: filesystem/OS errors
+EXIT_TIMEOUT = 5  #: a stage deadline expired and no ladder rung absorbed it
+EXIT_INTERRUPTED = 130  #: SIGINT convention (128 + signal 2)
 
 _EXIT_CODES: tuple[tuple[type, int], ...] = (
     (ValidationError, EXIT_USAGE),
     (ShapeError, EXIT_USAGE),
     (ConfigError, EXIT_USAGE),
+    (TimeoutExceeded, EXIT_TIMEOUT),
+    (CorruptStoreError, EXIT_DATA),
     (FormatError, EXIT_DATA),
     (DatasetError, EXIT_DATA),
     (OSError, EXIT_IO),
+    (KeyboardInterrupt, EXIT_INTERRUPTED),
 )
 
 

@@ -26,6 +26,7 @@ from repro.errors import ConfigError
 from repro.gpu.costmodel import CostModelConfig
 from repro.gpu.device import P100, DeviceSpec
 from repro.reorder.pipeline import ReorderConfig
+from repro.resilience.policy import ResiliencePolicy
 
 __all__ = ["ExperimentConfig", "scale_model", "SCALE_FACTORS", "PANEL_HEIGHTS"]
 
@@ -105,6 +106,11 @@ class ExperimentConfig:
         :class:`repro.planstore.PlanStore` rooted at this directory, so
         sweeps that revisit a (pattern, config) pair skip the
         MinHash/LSH/clustering stages entirely.
+    resilience:
+        Optional :class:`repro.resilience.ResiliencePolicy`.  When set,
+        every plan build in the sweep runs under its stage deadline and
+        degradation ladder; degraded builds are recorded per matrix in
+        :attr:`repro.experiments.MatrixRecord.degradation`.
     """
 
     ks: tuple[int, ...] = (512, 1024)
@@ -118,6 +124,7 @@ class ExperimentConfig:
     verify: bool = False
     auto_scale_model: bool = True  #: apply :func:`scale_model` for the corpus scale
     plan_cache_dir: str | None = None  #: persistent plan-store directory (optional)
+    resilience: ResiliencePolicy | None = None  #: deadline/ladder policy (optional)
 
     def __post_init__(self):
         if not self.ks:

@@ -67,6 +67,22 @@ def render_experiments_markdown(
     lines.append(f"Corpus: {total} matrices; {subset} need reordering per the §4 gates.")
     lines.append("")
 
+    # Degradation-ladder transparency: a resilience policy may have built
+    # some plans below the `full` rung; those results are correct but not
+    # comparable on preprocessing effectiveness, so the report says which.
+    degraded = sorted({r.name for r in records if r.degradation})
+    if degraded:
+        lines.append(
+            f"**Degraded builds**: {len(degraded)}/{total} matrices settled "
+            "below the `full` degradation-ladder rung (results remain "
+            "correct; reordering effectiveness is not comparable for them):"
+        )
+        lines.append("")
+        by_name = {r.name: r.degradation for r in records if r.degradation}
+        for name in degraded:
+            lines.append(f"- `{name}`: {by_name[name]}")
+        lines.append("")
+
     # Tables 1/2 + headline stats.
     t1 = {
         k: speedup_bands(needing_reordering(records_at_k(records, k)), "spmm_vs_best")

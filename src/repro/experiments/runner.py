@@ -12,6 +12,14 @@ the sequential run (asserted in the tests) because each matrix's work is
 fully deterministic and self-contained.  One caveat: ``preprocess_s`` is
 per-matrix wall-clock inside its worker, so it remains comparable across
 ``n_jobs`` settings up to scheduler noise.
+
+Sweeps are crash-safe when given a ``checkpoint`` path: every completed
+matrix is journalled (:class:`repro.resilience.SweepJournal`) with a
+single fsynced append, a mid-sweep ``KeyboardInterrupt`` flushes an
+``interrupt`` marker before propagating, and ``resume=True`` replays the
+completed records and recomputes only the matrices that were in flight
+or never started — the final record set is identical to an uninterrupted
+run (entries stay in corpus order either way).
 """
 
 from __future__ import annotations
@@ -63,11 +71,20 @@ def run_single_matrix(
         csr,
         replace(config.reorder, force_round1=False, force_round2=False),
         cache=plan_cache,
+        resilience=config.resilience,
     )
-    plan_rr = build_plan(csr, config.reorder, cache=plan_cache)
+    plan_rr = build_plan(
+        csr, config.reorder, cache=plan_cache, resilience=config.resilience
+    )
     if config.verify:
         plan_rr.validate()
         plan_nr.validate()
+    degraded_parts = []
+    if plan_nr.degraded:
+        degraded_parts.append("nr: " + "; ".join(plan_nr.provenance))
+    if plan_rr.degraded:
+        degraded_parts.append("rr: " + "; ".join(plan_rr.provenance))
+    degradation = " | ".join(degraded_parts)
 
     nr_view = plan_nr.cost_view()
     rr_view = plan_rr.cost_view()
@@ -112,6 +129,7 @@ def run_single_matrix(
                 dense_ratio_before=stats.dense_ratio_before,
                 dense_ratio_after=stats.dense_ratio_after,
                 preprocess_s=plan_rr.preprocessing_time,
+                degradation=degradation,
             )
         )
     return records
@@ -123,6 +141,8 @@ def run_experiment(
     *,
     progress: bool = False,
     n_jobs: int = 1,
+    checkpoint=None,
+    resume: bool = False,
 ) -> list[MatrixRecord]:
     """Run the full corpus experiment.
 
@@ -140,11 +160,20 @@ def run_experiment(
     n_jobs:
         Worker processes (1 = in-process sequential).  Records come back
         in corpus order regardless.
+    checkpoint:
+        Optional journal path.  When set, every completed matrix is
+        durably recorded so the sweep survives crashes and interrupts
+        (see the module docstring).
+    resume:
+        With ``checkpoint``, replay completed matrices from the journal
+        and compute only the rest.  The journal's config digest must
+        match ``config`` (:class:`repro.errors.ConfigError` otherwise).
+        Without an existing journal this is an ordinary fresh run.
 
     Returns
     -------
     list[MatrixRecord]
-        ``len(entries) * len(config.ks)`` records.
+        ``len(entries) * len(config.ks)`` records, in corpus order.
     """
     config = config or ExperimentConfig()
     if entries is None:
@@ -152,22 +181,55 @@ def run_experiment(
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
 
-    if n_jobs > 1:
-        from concurrent.futures import ProcessPoolExecutor
+    journal = None
+    done: dict = {}
+    if checkpoint is not None:
+        from repro.resilience.checkpoint import SweepJournal
 
-        records: list[MatrixRecord] = []
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            for chunk in pool.map(
-                _run_entry, ((entry, config) for entry in entries)
-            ):
-                records.extend(chunk)
+        if resume:
+            journal, done = SweepJournal.resume_sweep(
+                checkpoint, config, len(entries)
+            )
+            if done:
+                _log.info(
+                    "resuming: %d/%d matrices already journalled",
+                    len(done),
+                    len(entries),
+                )
+        else:
+            journal = SweepJournal.start_sweep(checkpoint, config, len(entries))
+    keys = [f"{i}:{entry.name}" for i, entry in enumerate(entries)]
+
+    try:
+        if n_jobs > 1:
+            records = _run_parallel(config, entries, keys, done, journal, n_jobs)
+        else:
+            records = _run_sequential(config, entries, keys, done, journal, progress)
+        if journal is not None:
+            journal.mark_complete()
         return records
+    except KeyboardInterrupt:
+        # Flush the interrupt marker so `repro doctor` can tell a clean
+        # Ctrl-C from a crash; the journal already holds every completed
+        # matrix (one fsynced append each), so --resume loses nothing.
+        if journal is not None:
+            journal.mark_interrupted()
+        raise
+    finally:
+        if journal is not None:
+            journal.close()
 
+
+def _run_sequential(config, entries, keys, done, journal, progress):
     device, cost = config.effective_model()
     executor = GPUExecutor(device, cost, cache_mode=config.cache_mode)
     plan_cache = _plan_store(config)
-    records = []
+    records: list[MatrixRecord] = []
     for i, entry in enumerate(entries):
+        key = keys[i]
+        if key in done:
+            records.extend(MatrixRecord.from_dict(d) for d in done[key])
+            continue
         if progress:
             _log.info(
                 "[%d/%d] %s (%dx%d, nnz=%d)",
@@ -178,7 +240,35 @@ def run_experiment(
                 entry.matrix.n_cols,
                 entry.matrix.nnz,
             )
-        records.extend(
-            run_single_matrix(entry, config, executor, plan_cache=plan_cache)
-        )
+        if journal is not None:
+            journal.mark_started(key)
+        chunk = run_single_matrix(entry, config, executor, plan_cache=plan_cache)
+        if journal is not None:
+            journal.mark_done(key, [r.as_dict() for r in chunk])
+        records.extend(chunk)
+    return records
+
+
+def _run_parallel(config, entries, keys, done, journal, n_jobs):
+    from concurrent.futures import ProcessPoolExecutor
+
+    pending = [(i, entry) for i, entry in enumerate(entries) if keys[i] not in done]
+    chunks: dict[int, list[MatrixRecord]] = {
+        i: [MatrixRecord.from_dict(d) for d in done[keys[i]]]
+        for i in range(len(entries))
+        if keys[i] in done
+    }
+    with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+        if journal is not None:
+            for i, _ in pending:  # the whole batch goes in flight at once
+                journal.mark_started(keys[i])
+        for (i, _), chunk in zip(
+            pending, pool.map(_run_entry, ((entry, config) for _, entry in pending))
+        ):
+            if journal is not None:
+                journal.mark_done(keys[i], [r.as_dict() for r in chunk])
+            chunks[i] = chunk
+    records: list[MatrixRecord] = []
+    for i in range(len(entries)):
+        records.extend(chunks[i])
     return records

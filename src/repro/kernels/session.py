@@ -46,16 +46,48 @@ pass ``out=`` or copy the result to keep it.
 from __future__ import annotations
 
 import threading
+import warnings
 
 import numpy as np
 
 from repro.aspt.tiles import TiledMatrix
+from repro.errors import DegradedExecution, WorkspaceExhausted
 from repro.kernels.aspt_spmm import _panel_dense_spmm, panel_plan
+from repro.resilience.faults import fault_point
 from repro.sparse.csr import CSRMatrix
+from repro.util.log import get_logger
 from repro.util.validation import check_dense
 from repro.util.workspace import Workspace, WorkspacePool
 
 __all__ = ["KernelSession"]
+
+_log = get_logger("kernels")
+
+
+class _DirectWorkspace:
+    """Workspace-shaped fallback that allocates directly (no pooling).
+
+    Used when the pool cannot serve a lease
+    (:class:`repro.errors.WorkspaceExhausted` — a real ``max_lease_bytes``
+    cap or an injected fault): the multiply reruns against plain
+    ``np.empty`` scratch, trading the zero-allocation steady state for
+    completion.  Results are bitwise identical either way — pooled and
+    direct paths run the same operations on same-shaped buffers.
+    """
+
+    __slots__ = ()
+
+    def scratch(self, shape, dtype=np.float64) -> np.ndarray:
+        return np.empty(shape, dtype=dtype)
+
+    def release(self) -> None:
+        return None
+
+    def __enter__(self) -> "_DirectWorkspace":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
 
 #: Default K-chunk width.  64 float64 columns x a few tens of thousands of
 #: non-zeros keeps the active gather chunk inside the last-level cache on
@@ -142,6 +174,10 @@ class KernelSession:
             raise ValueError(f"chunk_k must be >= 1, got {chunk_k}")
         self.chunk_k = int(chunk_k)
         self.pool = pool if pool is not None else WorkspacePool()
+        #: Calls completed through the direct-allocation fallback after
+        #: workspace exhaustion (observable for tests and reports).
+        self.fallbacks = 0
+        self._warned_fallback = False
         self._local = threading.local()
         self._plan = None
         self._tiled = None
@@ -216,6 +252,12 @@ class KernelSession:
         that the *next* ``run`` on the same thread overwrites — the
         steady state allocates nothing.  Pass ``out=`` (or copy) to keep
         a result across calls.
+
+        When the pool cannot serve a lease
+        (:class:`repro.errors.WorkspaceExhausted`), the multiply reruns
+        with direct allocation — bitwise-identical result, one
+        :class:`repro.errors.DegradedExecution` warning per session, and
+        :attr:`fallbacks` counts the degraded calls.
         """
         if self._kind == "plan":
             # ExecutionPlan.spmm validates with the float64-casting form.
@@ -224,14 +266,34 @@ class KernelSession:
             X = check_dense("X", X, rows=self._n_cols, dtype=None)
         K = X.shape[1]
         out = self._output(K, out)
-        with self.pool.lease() as ws:
-            if self._kind == "csr":
-                self._steady.multiply(X, out, ws, self.chunk_k)
-            elif self._kind == "tiled":
-                self._run_tiled(X, out, ws)
-            else:
-                self._run_plan(X, out, ws)
+        try:
+            with self.pool.lease() as ws:
+                fault_point("session.run")
+                self._dispatch(X, out, ws)
+        except WorkspaceExhausted as exc:
+            # Safe to rerun from the top: every dispatch path fully
+            # overwrites ``out``, so a partial first attempt leaves no
+            # trace in the final result.
+            self.fallbacks += 1
+            if not self._warned_fallback:
+                self._warned_fallback = True
+                warnings.warn(
+                    f"workspace pool exhausted ({exc}); session falling "
+                    "back to direct allocation (results unchanged)",
+                    DegradedExecution,
+                    stacklevel=2,
+                )
+            _log.warning("session fallback to direct allocation: %s", exc)
+            self._dispatch(X, out, _DirectWorkspace())
         return out
+
+    def _dispatch(self, X: np.ndarray, out: np.ndarray, ws) -> None:
+        if self._kind == "csr":
+            self._steady.multiply(X, out, ws, self.chunk_k)
+        elif self._kind == "tiled":
+            self._run_tiled(X, out, ws)
+        else:
+            self._run_plan(X, out, ws)
 
     def run_many(self, Xs) -> list[np.ndarray]:
         """Multiply a batch of operands; results are caller-owned arrays."""

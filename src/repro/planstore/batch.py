@@ -53,7 +53,7 @@ def _build_one(payload) -> tuple:
     index, csr, config = payload
     try:
         return index, build_plan(csr, config), None, None
-    except Exception as exc:  # noqa: BLE001 — the whole point is capture
+    except Exception as exc:  # noqa: BLE001  # reprolint: disable=RD106 -- pool worker marshals every failure back to the parent; nothing may escape
         return (
             index,
             None,
@@ -103,7 +103,7 @@ def build_plans(
             try:
                 key = cache.key_for(csr, config)
                 decisions = cache.get(key)
-            except Exception as exc:  # noqa: BLE001 — cache trouble = miss
+            except Exception as exc:  # noqa: BLE001  # reprolint: disable=RD106 -- any cache trouble must degrade to a miss, not abort the batch
                 _log.warning("plan cache lookup failed for #%d: %s", index, exc)
                 decisions = None
             if decisions is not None:

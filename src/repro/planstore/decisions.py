@@ -36,13 +36,17 @@ class PlanDecisions:
     ``row_order``/``remainder_order`` are the round-1/round-2 permutations
     (new position -> source row); ``stats`` the Fig. 9 statistics;
     ``preprocess_total`` the wall-clock the original cold build paid (kept
-    so amortisation reports stay meaningful on warm hits).
+    so amortisation reports stay meaningful on warm hits); ``provenance``
+    the degradation-ladder history (empty when the plan was built without
+    a resilience policy — in practice always, since degraded plans are
+    never cached, but the field keeps the round trip lossless).
     """
 
     row_order: np.ndarray
     remainder_order: np.ndarray
     stats: PlanStats
     preprocess_total: float
+    provenance: tuple = ()
 
     @classmethod
     def from_plan(cls, plan: ExecutionPlan) -> "PlanDecisions":
@@ -54,6 +58,7 @@ class PlanDecisions:
             ),
             stats=plan.stats,
             preprocess_total=plan.preprocessing_time,
+            provenance=tuple(plan.provenance),
         )
 
     @property
@@ -92,6 +97,7 @@ class PlanDecisions:
             remainder=remainder,
             remainder_order=self.remainder_order,
             stats=self.stats,
+            provenance=self.provenance,
             # "total" reflects what *this* call pays; callers that time the
             # materialisation overwrite it.  The cold build's cost stays
             # available for amortisation reports.

@@ -37,7 +37,9 @@ __all__ = [
 #: Version of the cached-plan contract.  Bump whenever the pipeline's
 #: deterministic output for a given (pattern, config) changes, or the
 #: on-disk layout changes — old entries then miss instead of lying.
-PLAN_FORMAT_VERSION = 1
+#: v2: entries gained a CRC-32 content checksum and a provenance block
+#: (degradation-ladder history); v1 entries quarantine on read.
+PLAN_FORMAT_VERSION = 2
 
 
 def pattern_fingerprint(csr: CSRMatrix) -> str:

@@ -17,13 +17,15 @@ change (this is the paper's central distinction from vertex reordering).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.aspt.tiles import TiledMatrix, tile_matrix
 from repro.clustering.hierarchical import cluster_rows
 from repro.contracts import checked, validates
+from repro.errors import DegradedExecution, TimeoutExceeded
 from repro.kernels.aspt_sddmm import sddmm_tiled
 from repro.kernels.aspt_spmm import _panel_dense_spmm
 from repro.kernels.spmm import spmm
@@ -134,6 +136,12 @@ class ExecutionPlan:
     preprocess_seconds:
         Wall-clock breakdown: ``lsh1``, ``cluster1``, ``permute1``,
         ``tile``, ``sim2``, ``lsh2``, ``cluster2``, ``total``.
+    provenance:
+        Degradation-ladder history when the plan was built under a
+        :class:`repro.resilience.ResiliencePolicy` — one entry per
+        attempted rung, e.g. ``("full: TimeoutExceeded: cluster1
+        exceeded its 2s deadline", "round1-only: ok")``.  Empty for
+        plans built without a policy.
     """
 
     original: CSRMatrix
@@ -143,6 +151,12 @@ class ExecutionPlan:
     remainder_order: np.ndarray
     stats: PlanStats
     preprocess_seconds: dict = field(default_factory=dict, repr=False)
+    provenance: tuple = ()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the plan settled below the ``full`` ladder rung."""
+        return bool(self.provenance) and not self.provenance[-1].startswith("full:")
 
     # ------------------------------------------------------------------
     @property
@@ -336,6 +350,7 @@ def build_plan(
     config: ReorderConfig | None = None,
     *,
     cache=None,
+    resilience=None,
 ) -> ExecutionPlan:
     """Run the full Fig. 5 workflow and return an :class:`ExecutionPlan`.
 
@@ -350,11 +365,27 @@ def build_plan(
     matrix's values; the timing breakdown then contains ``cache_lookup``
     and ``materialise`` instead of the stage keys.  On a miss the plan is
     built normally and its decisions written through the cache.
+
+    ``resilience`` accepts a :class:`repro.resilience.ResiliencePolicy`.
+    With one, each preprocessing attempt runs under a per-rung stage
+    deadline, and a rung that times out (or hits memory pressure) drops
+    down the degradation ladder ``full -> round1-only -> identity ->
+    untiled-csr`` instead of failing the build.  Every attempted rung is
+    recorded in :attr:`ExecutionPlan.provenance`; settling below ``full``
+    emits a :class:`repro.errors.DegradedExecution` warning, and degraded
+    plans are never written to the cache (a transient failure must not
+    pin a weaker plan under the original config's key).
     """
     config = config or ReorderConfig()
+    if resilience is not None:
+        return _build_plan_resilient(csr, config, cache, resilience)
     if cache is None:
         return _build_plan_uncached(csr, config)
+    return _build_plan_cached(csr, config, cache, None)
 
+
+def _build_plan_cached(csr, config, cache, deadline) -> ExecutionPlan:
+    """The cache-wrapped build (hit -> materialise, miss -> build + put)."""
     from repro.planstore.decisions import PlanDecisions
 
     times: dict[str, float] = {}
@@ -367,7 +398,7 @@ def build_plan(
             with timed(times, "materialise"):
                 plan = decisions.materialise(csr, config)
         else:
-            plan = _build_plan_uncached(csr, config)
+            plan = _build_plan_uncached(csr, config, deadline=deadline)
             cache.put(key, PlanDecisions.from_plan(plan))
     if "materialise" in times:  # warm hit: breakdown is lookup+materialise
         plan.preprocess_seconds.update(times)
@@ -376,7 +407,47 @@ def build_plan(
     return plan
 
 
-def _build_plan_uncached(csr: CSRMatrix, config: ReorderConfig) -> ExecutionPlan:
+def _build_plan_resilient(csr, config, cache, policy) -> ExecutionPlan:
+    """Walk the degradation ladder until a rung succeeds.
+
+    Rung 0 (``full``) goes through the cache when one is given; the
+    degraded rungs never touch it.  The final rung runs without a
+    deadline, so a laddered build always terminates with *some* plan;
+    with ``policy.ladder`` off the first failure propagates.
+    """
+    from repro.resilience.policy import ladder_rungs
+
+    rungs = ladder_rungs(config) if policy.ladder else [("full", config)]
+    provenance: list = []
+    for index, (label, rung_config) in enumerate(rungs):
+        floor = policy.ladder and index == len(rungs) - 1
+        deadline = None if floor else policy.new_deadline()
+        try:
+            if index == 0 and cache is not None:
+                plan = _build_plan_cached(csr, rung_config, cache, deadline)
+            else:
+                plan = _build_plan_uncached(csr, rung_config, deadline=deadline)
+        except (TimeoutExceeded, MemoryError) as exc:
+            provenance.append(f"{label}: {type(exc).__name__}: {exc}")
+            if index == len(rungs) - 1:
+                raise
+            continue
+        provenance.append(f"{label}: ok")
+        plan = replace(plan, provenance=tuple(provenance))
+        if index > 0:
+            warnings.warn(
+                f"plan build degraded to rung '{label}' "
+                f"({'; '.join(provenance[:-1])})",
+                DegradedExecution,
+                stacklevel=3,
+            )
+        return plan
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _build_plan_uncached(
+    csr: CSRMatrix, config: ReorderConfig, *, deadline=None
+) -> ExecutionPlan:
     """The actual Fig. 5 workflow (no cache consultation)."""
     times: dict[str, float] = {}
     lsh = config.lsh_index()
@@ -393,13 +464,14 @@ def _build_plan_uncached(csr: CSRMatrix, config: ReorderConfig) -> ExecutionPlan
         n_cand1 = 0
         if do_round1:
             with timed(times, "lsh1"):
-                pairs, sims = lsh.candidate_pairs(csr)
+                pairs, sims = lsh.candidate_pairs(csr, deadline=deadline)
             n_cand1 = int(pairs.shape[0])
             with timed(times, "cluster1"):
                 clustering = cluster_rows(
                     csr, pairs, sims,
                     threshold_size=config.threshold_size,
                     measure=config.measure,
+                    deadline=deadline,
                 )
             row_order = clustering.order
             with timed(times, "permute1"):
@@ -409,6 +481,8 @@ def _build_plan_uncached(csr: CSRMatrix, config: ReorderConfig) -> ExecutionPlan
             reordered = csr
 
         # ---- tiling -----------------------------------------------------
+        if deadline is not None:
+            deadline.check("tile")
         with timed(times, "tile"):
             tiled = tile_matrix(
                 reordered,
@@ -418,6 +492,8 @@ def _build_plan_uncached(csr: CSRMatrix, config: ReorderConfig) -> ExecutionPlan
             )
 
         # ---- round 2 gate + reorder of the remainder -------------------
+        if deadline is not None:
+            deadline.check("sim2")
         with timed(times, "sim2"):
             gate2 = should_reorder_round2(
                 tiled.sparse_part, skip_above=config.avg_sim_skip
@@ -426,7 +502,9 @@ def _build_plan_uncached(csr: CSRMatrix, config: ReorderConfig) -> ExecutionPlan
         n_cand2 = 0
         if do_round2 and tiled.sparse_part.nnz:
             with timed(times, "lsh2"):
-                pairs2, sims2 = lsh.candidate_pairs(tiled.sparse_part)
+                pairs2, sims2 = lsh.candidate_pairs(
+                    tiled.sparse_part, deadline=deadline
+                )
             n_cand2 = int(pairs2.shape[0])
             with timed(times, "cluster2"):
                 clustering2 = cluster_rows(
@@ -435,6 +513,7 @@ def _build_plan_uncached(csr: CSRMatrix, config: ReorderConfig) -> ExecutionPlan
                     sims2,
                     threshold_size=config.threshold_size,
                     measure=config.measure,
+                    deadline=deadline,
                 )
             remainder_order = clustering2.order
             remainder = permute_csr_rows(tiled.sparse_part, remainder_order)

@@ -1,0 +1,230 @@
+"""Crash-safe, resumable sweep checkpoints.
+
+A :class:`SweepJournal` is an append-only JSON-lines manifest alongside a
+sweep's output file.  Every event is one line, written with a single
+``write`` call and flushed (plus ``fsync``) before the sweep moves on,
+so a ``kill -9`` at any instant leaves at worst one torn *final* line —
+which the tolerant reader simply drops.  Completed matrices therefore
+survive any crash, and ``repro run --resume`` recomputes only the
+matrices that were in flight or never started.
+
+Event grammar (one JSON object per line)::
+
+    {"event": "header", "version": 1, "config": <digest>, "total": M}
+    {"event": "start", "key": "<i>:<name>"}
+    {"event": "done",  "key": "<i>:<name>", "records": [...]}
+    {"event": "interrupt"}          # Ctrl-C flushed the manifest
+    {"event": "complete"}           # the sweep finished normally
+
+The header pins a digest of the experiment configuration and the corpus
+size; resuming against a journal written under a different configuration
+raises :class:`repro.errors.ConfigError` instead of silently mixing
+records from incompatible runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+from repro.errors import ConfigError, FormatError
+from repro.util.hashing import stable_digest
+from repro.util.log import get_logger
+
+__all__ = ["SweepJournal", "journal_status", "sweep_config_digest"]
+
+_log = get_logger("resilience")
+
+JOURNAL_VERSION = 1
+
+
+def sweep_config_digest(config, n_entries: int) -> str:
+    """Stable digest of an :class:`ExperimentConfig` + corpus size.
+
+    Serialised as sorted ``name=repr(value)`` pairs (nested dataclasses
+    flattened by :func:`dataclasses.asdict`), so any change to any field
+    — ks, scale, reorder parameters, resilience policy — changes the
+    digest and blocks cross-configuration resumes.
+    """
+    fields = dataclasses.asdict(config)
+    parts = [f"{name}={fields[name]!r}".encode("utf-8") for name in sorted(fields)]
+    parts.append(f"n_entries={n_entries}".encode("ascii"))
+    return stable_digest(*parts)
+
+
+def _parse_lines(path: Path) -> list:
+    """Parse journal lines tolerantly: a torn final line is dropped."""
+    events = []
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        lines = fh.read().splitlines()
+    for number, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            if number == len(lines) - 1:
+                _log.warning(
+                    "journal %s: dropping torn final line (crash mid-append)",
+                    path.name,
+                )
+                break
+            raise FormatError(
+                f"journal {path}: unreadable line {number + 1} "
+                "(not the final line, so not a torn append)"
+            )
+        if not isinstance(event, dict) or "event" not in event:
+            raise FormatError(f"journal {path}: line {number + 1} is not an event")
+        events.append(event)
+    return events
+
+
+def journal_status(path) -> dict:
+    """Summarise a journal for ``repro doctor`` / resume decisions.
+
+    Returns a dict with ``exists``, ``valid``, and — when valid —
+    ``config``, ``total``, ``completed`` (list of keys), ``in_flight``
+    (started but never finished), ``interrupted`` and ``complete``.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {"exists": False, "valid": False}
+    try:
+        events = _parse_lines(path)
+    except (OSError, FormatError) as exc:
+        return {"exists": True, "valid": False, "error": f"{type(exc).__name__}: {exc}"}
+    if not events or events[0].get("event") != "header":
+        return {"exists": True, "valid": False, "error": "missing header line"}
+    header = events[0]
+    started: list = []
+    completed: list = []
+    interrupted = False
+    complete = False
+    for event in events[1:]:
+        kind = event.get("event")
+        if kind == "start":
+            started.append(event.get("key"))
+        elif kind == "done":
+            completed.append(event.get("key"))
+        elif kind == "interrupt":
+            interrupted = True
+        elif kind == "complete":
+            complete = True
+    done = set(completed)
+    return {
+        "exists": True,
+        "valid": True,
+        "version": header.get("version"),
+        "config": header.get("config"),
+        "total": header.get("total"),
+        "completed": completed,
+        "in_flight": [key for key in started if key not in done],
+        "interrupted": interrupted,
+        "complete": complete,
+    }
+
+
+class SweepJournal:
+    """Append-only checkpoint manifest for one experiment sweep.
+
+    Create with :meth:`start_sweep` (truncates any stale journal) or
+    :meth:`resume_sweep` (validates the header and returns the completed
+    records so the runner can skip them).  Use as a context manager; the
+    file handle is flushed per event regardless.
+    """
+
+    def __init__(self, path, fh, config_digest: str) -> None:
+        self.path = Path(path)
+        self._fh = fh
+        self.config_digest = config_digest
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def start_sweep(cls, path, config, n_entries: int) -> "SweepJournal":
+        """Begin a fresh journal (overwrites any previous one)."""
+        path = Path(path)
+        digest = sweep_config_digest(config, n_entries)
+        fh = open(path, "w", encoding="utf-8")
+        journal = cls(path, fh, digest)
+        journal._append(
+            {
+                "event": "header",
+                "version": JOURNAL_VERSION,
+                "config": digest,
+                "total": n_entries,
+            }
+        )
+        return journal
+
+    @classmethod
+    def resume_sweep(cls, path, config, n_entries: int) -> tuple:
+        """Reopen ``path`` for appending; return ``(journal, done)``.
+
+        ``done`` maps completed entry keys to their saved record dicts.
+        Raises :class:`ConfigError` when the journal was written under a
+        different configuration (or corpus size), and falls back to a
+        fresh journal when the file is missing.
+        """
+        path = Path(path)
+        if not path.exists():
+            return cls.start_sweep(path, config, n_entries), {}
+        digest = sweep_config_digest(config, n_entries)
+        status = journal_status(path)
+        if not status["valid"]:
+            raise ConfigError(
+                f"cannot resume from {path}: {status.get('error', 'invalid journal')}"
+            )
+        if status["config"] != digest:
+            raise ConfigError(
+                f"cannot resume from {path}: it was written by a different "
+                "experiment configuration (config digest mismatch); rerun "
+                "without --resume to start over"
+            )
+        done: dict = {}
+        for event in _parse_lines(path):
+            if event.get("event") == "done":
+                done[event["key"]] = event.get("records", [])
+        fh = open(path, "a", encoding="utf-8")
+        return cls(path, fh, digest), done
+
+    # ------------------------------------------------------------------
+    def _append(self, event: dict) -> None:
+        """One atomic-append event: single write, flush, fsync."""
+        self._fh.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        try:
+            os.fsync(self._fh.fileno())
+        except OSError:  # fsync unsupported (pipes, some CI tmpfs) — flushed is enough
+            pass
+
+    def mark_started(self, key: str) -> None:
+        """Record that ``key`` is now in flight."""
+        self._append({"event": "start", "key": key})
+
+    def mark_done(self, key: str, records: list) -> None:
+        """Record ``key`` complete with its result records (as dicts)."""
+        self._append({"event": "done", "key": key, "records": records})
+
+    def mark_interrupted(self) -> None:
+        """Record a flushed mid-sweep interrupt (Ctrl-C)."""
+        self._append({"event": "interrupt"})
+
+    def mark_complete(self) -> None:
+        """Record normal end-of-sweep."""
+        self._append({"event": "complete"})
+
+    def close(self) -> None:
+        """Close the underlying handle (idempotent)."""
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,77 @@
+"""Cooperative stage deadlines.
+
+A :class:`Deadline` is a wall-clock budget threaded through the
+long-running preprocessing stages (MinHash, LSH banding, the clustering
+loop).  Those stages *poll* — at block, band and loop-iteration
+granularity — and abort cleanly with
+:class:`repro.errors.TimeoutExceeded` when the budget is spent, leaving
+no partial state behind (every polling point sits between complete
+units of work).  There is no preemption and no signal handling: a stage
+that never polls can never be cancelled, which is exactly the
+determinism-friendly trade the pipeline wants.
+
+Polling sites accept ``deadline=None`` (the default everywhere) and
+guard with one ``is not None`` check, so the disabled path costs
+nothing measurable (asserted by ``repro bench --gate``).
+
+The clock is injectable for tests: pass ``clock=`` a zero-argument
+callable returning seconds (defaults to :func:`time.monotonic`).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import TimeoutExceeded
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A monotonic-clock budget with a stage-labelled ``check``.
+
+    Examples
+    --------
+    >>> d = Deadline.after(3600.0)
+    >>> d.expired()
+    False
+    >>> d.check("cluster1")  # no-op while budget remains
+    """
+
+    __slots__ = ("_t_end", "budget_s", "_clock")
+
+    def __init__(self, t_end: float, budget_s: float, clock=time.monotonic) -> None:
+        self._t_end = float(t_end)
+        self.budget_s = float(budget_s)
+        self._clock = clock
+
+    @classmethod
+    def after(cls, seconds: float, *, clock=time.monotonic) -> "Deadline":
+        """A deadline ``seconds`` from now on ``clock``."""
+        if seconds < 0:
+            raise ValueError(f"deadline budget must be >= 0, got {seconds}")
+        return cls(clock() + seconds, seconds, clock)
+
+    # ------------------------------------------------------------------
+    def remaining(self) -> float:
+        """Seconds left on the budget (negative once expired)."""
+        return self._t_end - self._clock()
+
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self._clock() >= self._t_end
+
+    def check(self, stage: str = "") -> None:
+        """Raise :class:`TimeoutExceeded` when expired; no-op otherwise.
+
+        ``stage`` names the polling site (e.g. ``"cluster1"``) so the
+        failure — and the degradation-ladder provenance derived from it
+        — says *where* the budget went.
+        """
+        if self._clock() >= self._t_end:
+            label = stage or "stage"
+            raise TimeoutExceeded(
+                f"{label} exceeded its {self.budget_s:g}s deadline",
+                stage=label,
+                budget_s=self.budget_s,
+            )

@@ -1,0 +1,161 @@
+"""Health checks behind the ``repro doctor`` CLI command.
+
+``repro doctor`` inspects the two pieces of durable state a sweep leaves
+behind — the on-disk plan cache and the checkpoint journal — and reports
+what it finds: live entry counts, quarantined (``*.corrupt``) files, and
+how far an interrupted sweep got.  With ``--heal`` it additionally asks
+the plan store to re-validate quarantined entries and restore the ones
+whose checksums still verify (see
+:meth:`repro.planstore.disk.DiskPlanStore.heal`).
+
+The plan store is imported lazily: :mod:`repro.planstore.disk` itself
+uses this package's fault-injection and retry helpers, and importing it
+at module scope would require :mod:`repro.resilience` to be fully
+initialised first.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.resilience.checkpoint import journal_status
+
+__all__ = ["store_health", "heal_store", "format_doctor_report", "doctor_report"]
+
+
+def store_health(cache_dir) -> dict:
+    """Inspect a plan-cache directory without modifying it.
+
+    Returns
+    -------
+    dict
+        ``exists`` (directory present), ``path``, ``entries`` (live
+        entry count) and ``quarantined`` — a list of ``(name, bytes)``
+        pairs for each ``*.corrupt`` file awaiting inspection or heal.
+    """
+    root = Path(cache_dir)
+    if not root.is_dir():
+        return {"exists": False, "path": str(root), "entries": 0, "quarantined": []}
+    from repro.planstore.disk import DiskPlanStore
+
+    store = DiskPlanStore(root)
+    quarantined = []
+    for path in store.quarantined():
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = -1
+        quarantined.append((path.name, size))
+    return {
+        "exists": True,
+        "path": str(root),
+        "entries": len(store),
+        "quarantined": quarantined,
+    }
+
+
+def heal_store(cache_dir) -> dict:
+    """Re-validate and restore quarantined plan-cache entries.
+
+    Delegates to :meth:`repro.planstore.disk.DiskPlanStore.heal`; a
+    missing cache directory heals vacuously.
+    """
+    root = Path(cache_dir)
+    if not root.is_dir():
+        return {"restored": [], "dropped": [], "unrecoverable": []}
+    from repro.planstore.disk import DiskPlanStore
+
+    return DiskPlanStore(root).heal()
+
+
+def _journal_lines(status: dict, path: str) -> list:
+    if not status.get("exists"):
+        return [f"journal {path}: not found"]
+    if not status.get("valid"):
+        return [f"journal {path}: INVALID ({status.get('error', 'unknown error')})"]
+    total = status.get("total")
+    done = len(status.get("completed", []))
+    lines = [f"journal {path}: {done}/{total} matrices completed"]
+    in_flight = status.get("in_flight", [])
+    if in_flight:
+        lines.append(
+            f"  in flight at last write (will be recomputed on --resume): "
+            f"{', '.join(in_flight)}"
+        )
+    if status.get("complete"):
+        lines.append("  sweep finished normally")
+    elif status.get("interrupted"):
+        lines.append("  sweep was interrupted (Ctrl-C flushed the manifest)")
+    else:
+        lines.append("  sweep did not finish (crash or still running)")
+    return lines
+
+
+def format_doctor_report(
+    *,
+    store: dict | None = None,
+    journal: dict | None = None,
+    journal_path: str = "",
+    healed: dict | None = None,
+) -> str:
+    """Render doctor findings as a human-readable multi-line report."""
+    lines: list = []
+    if store is not None:
+        if not store["exists"]:
+            lines.append(f"plan cache {store['path']}: not found")
+        else:
+            lines.append(
+                f"plan cache {store['path']}: {store['entries']} entries, "
+                f"{len(store['quarantined'])} quarantined"
+            )
+            for name, size in store["quarantined"]:
+                size_part = f"{size} bytes" if size >= 0 else "size unknown"
+                lines.append(f"  quarantined: {name} ({size_part})")
+    if healed is not None:
+        lines.append(
+            f"heal: {len(healed['restored'])} restored, "
+            f"{len(healed['dropped'])} dropped (already rebuilt), "
+            f"{len(healed['unrecoverable'])} unrecoverable"
+        )
+        for name in healed["restored"]:
+            lines.append(f"  restored: {name}")
+        for name in healed["dropped"]:
+            lines.append(f"  dropped: {name}")
+        for name, reason in healed["unrecoverable"]:
+            lines.append(f"  unrecoverable: {name} ({reason})")
+    if journal is not None:
+        lines.extend(_journal_lines(journal, journal_path))
+    if not lines:
+        lines.append("nothing to check (pass --plan-cache-dir and/or --checkpoint)")
+    return "\n".join(lines)
+
+
+def doctor_report(
+    *,
+    cache_dir=None,
+    checkpoint=None,
+    heal: bool = False,
+) -> tuple:
+    """Run all requested checks; return ``(report_text, problems_found)``.
+
+    ``problems_found`` is ``True`` when quarantined entries remain after
+    an (optional) heal or the journal is invalid — the CLI maps it to a
+    non-zero exit so scripts can gate on doctor health.
+    """
+    store = store_health(cache_dir) if cache_dir is not None else None
+    healed = heal_store(cache_dir) if (heal and cache_dir is not None) else None
+    if healed is not None:
+        store = store_health(cache_dir)  # re-scan: heal changed the directory
+    journal = journal_status(checkpoint) if checkpoint is not None else None
+    problems = False
+    if store is not None and store["quarantined"]:
+        problems = True
+    if journal is not None and journal.get("exists") and not journal.get("valid"):
+        problems = True
+    text = format_doctor_report(
+        store=store,
+        journal=journal,
+        journal_path=str(checkpoint) if checkpoint is not None else "",
+        healed=healed,
+    )
+    return text, problems

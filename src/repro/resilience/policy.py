@@ -1,0 +1,106 @@
+"""The degradation ladder and the per-plan resilience policy.
+
+The ladder generalises the paper's §4 skip heuristics into a recovery
+strategy: when a rung of the planning pipeline fails (stage deadline,
+injected fault, memory pressure), :func:`repro.reorder.build_plan` drops
+to the next-cheaper rung instead of aborting:
+
+``full``
+    The normal Fig. 5 workflow — both reordering rounds, gated by §4.
+``round1-only``
+    Round 2 forced off; the expensive remainder reordering is skipped.
+``identity``
+    Both rounds forced off; no MinHash/LSH/clustering at all, only the
+    ASpT tiling split (this is exactly the ASpT-NR baseline).
+``untiled-csr``
+    Identity ordering *and* a dense threshold no panel column can reach,
+    so every non-zero lands in the sparse remainder and multiplication
+    runs the plain CSR kernel.  Nothing on this rung can time out; it is
+    the ladder's floor.
+
+Every attempted rung is recorded in the plan's provenance (and the
+cached :class:`repro.planstore.PlanDecisions`), and settling below
+``full`` emits a :class:`repro.errors.DegradedExecution` warning — the
+run stays correct, the report says it was degraded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.resilience.deadline import Deadline
+
+__all__ = ["ResiliencePolicy", "LADDER_RUNGS", "ladder_rungs"]
+
+#: Ladder rung labels, strongest first.
+LADDER_RUNGS: tuple = ("full", "round1-only", "identity", "untiled-csr")
+
+
+def ladder_rungs(config) -> list:
+    """The ``(label, rung_config)`` ladder for a ``ReorderConfig``.
+
+    Rungs that cannot differ from an earlier one are dropped (e.g. when
+    the caller already forces round 2 off, ``round1-only`` adds
+    nothing), so the ladder never retries an identical configuration.
+    """
+    rungs = [("full", config)]
+    if config.force_round2 is not False:
+        rungs.append(("round1-only", replace(config, force_round2=False)))
+    if config.force_round1 is not False:
+        rungs.append(
+            ("identity", replace(config, force_round1=False, force_round2=False))
+        )
+    # No column inside a panel_height-row panel can hold more than
+    # panel_height entries, so this threshold keeps every non-zero in
+    # the sparse remainder: the plan multiplies through the plain CSR
+    # kernel (and builds with no LSH, clustering or dense split work).
+    rungs.append(
+        (
+            "untiled-csr",
+            replace(
+                config,
+                force_round1=False,
+                force_round2=False,
+                dense_threshold=config.panel_height + 1,
+            ),
+        )
+    )
+    return rungs
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How much failure a plan build may absorb.
+
+    Attributes
+    ----------
+    deadline_s:
+        Per-rung stage budget in seconds (``None`` = unlimited).  Each
+        rung gets a fresh deadline; the final ``untiled-csr`` rung runs
+        without one so the ladder always has an escape that cannot time
+        out.
+    ladder:
+        When ``False``, failures propagate instead of degrading (the
+        deadline still applies — useful for hard-real-time callers that
+        prefer an error over a slower plan).
+    io_attempts, io_backoff_s:
+        Bounded-retry parameters applied around dataset and plan-store
+        IO (see :func:`repro.resilience.retry_io`).
+    """
+
+    deadline_s: float | None = None
+    ladder: bool = True
+    io_attempts: int = 3
+    io_backoff_s: float = 0.02
+
+    def __post_init__(self):
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ValueError(f"deadline_s must be >= 0, got {self.deadline_s}")
+        if self.io_attempts < 1:
+            raise ValueError(f"io_attempts must be >= 1, got {self.io_attempts}")
+
+    def new_deadline(self) -> Deadline | None:
+        """A fresh per-rung deadline (``None`` when unlimited)."""
+        if self.deadline_s is None:
+            return None
+        return Deadline.after(self.deadline_s)

@@ -1,0 +1,91 @@
+"""Bounded retry-with-backoff for transient filesystem errors.
+
+Dataset reads and plan-store IO sit on network filesystems and shared
+caches in the production-scale deployment; a single ``EIO`` or ``EAGAIN``
+there must not abort a 1084-matrix sweep.  :func:`retry_io` retries the
+operation a bounded number of times with exponential backoff, while
+*non-transient* errors — missing files, permission problems, paths that
+are directories — fail immediately (retrying cannot fix them and only
+adds latency).
+
+The sleeper is injectable so chaos tests run at full speed, and the
+backoff sequence is deterministic (``backoff_s * 2**attempt``, no
+jitter) so retry timing never perturbs reproducibility.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.util.log import get_logger
+
+__all__ = ["retry_io", "NON_TRANSIENT_OS_ERRORS"]
+
+_log = get_logger("resilience")
+
+#: OS errors that retrying cannot fix: fail fast on these.
+NON_TRANSIENT_OS_ERRORS: tuple = (
+    FileNotFoundError,
+    NotADirectoryError,
+    IsADirectoryError,
+    PermissionError,
+)
+
+
+def retry_io(
+    fn,
+    *,
+    attempts: int = 3,
+    backoff_s: float = 0.02,
+    label: str = "",
+    retry_on: tuple = (OSError,),
+    sleep=time.sleep,
+):
+    """Call ``fn()``; retry transient failures up to ``attempts`` times.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable performing the IO.
+    attempts:
+        Total tries (``1`` disables retrying).
+    backoff_s:
+        Base backoff; try ``i`` (0-based) sleeps ``backoff_s * 2**i``
+        after failing, so defaults cost at most ~60 ms of waiting.
+    label:
+        Operation name for the retry log line (e.g. the path).
+    retry_on:
+        Exception types considered potentially transient.  Members of
+        :data:`NON_TRANSIENT_OS_ERRORS` are *always* re-raised
+        immediately, even when they match ``retry_on``.
+    sleep:
+        Injectable sleeper (chaos tests pass a no-op).
+
+    Returns
+    -------
+    Whatever ``fn`` returns.  The last exception is re-raised when every
+    attempt fails.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except NON_TRANSIENT_OS_ERRORS:
+            raise
+        except retry_on as exc:
+            if attempt == attempts - 1:
+                raise
+            delay = backoff_s * (2.0**attempt)
+            _log.warning(
+                "retrying %s after %s: %s (attempt %d/%d, backoff %.3fs)",
+                label or "operation",
+                type(exc).__name__,
+                exc,
+                attempt + 1,
+                attempts,
+                delay,
+            )
+            if delay > 0:
+                sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

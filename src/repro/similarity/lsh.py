@@ -124,6 +124,7 @@ def lsh_candidate_pairs(
     seed=None,
     bucket_cap: int | None = 64,
     skip_empty_sentinel: bool = True,
+    deadline=None,
 ) -> np.ndarray:
     """Generate candidate row pairs from a MinHash signature matrix.
 
@@ -140,6 +141,9 @@ def lsh_candidate_pairs(
     skip_empty_sentinel:
         Drop rows whose whole signature is the empty-row sentinel (they have
         no columns, hence zero similarity to everything).
+    deadline:
+        Optional :class:`repro.resilience.Deadline`, polled once per band
+        (each band is a complete unit of work, so cancellation is clean).
 
     Returns
     -------
@@ -169,6 +173,8 @@ def lsh_candidate_pairs(
     nbands = siglen // bsize
     chunks: list[np.ndarray] = []
     for band_idx in range(nbands):
+        if deadline is not None:
+            deadline.check("lsh")
         band = signatures[:, band_idx * bsize : (band_idx + 1) * bsize]
         keys = _band_keys(band, rng)
         order = np.argsort(keys, kind="stable")
@@ -227,20 +233,27 @@ class LSHIndex:
     min_similarity: float = 0.0
     measure: str = "jaccard"
 
-    def candidate_pairs(self, csr: CSRMatrix) -> tuple[np.ndarray, np.ndarray]:
+    def candidate_pairs(
+        self, csr: CSRMatrix, *, deadline=None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(pairs, similarities)`` for ``csr``.
 
         ``pairs`` is ``(E, 2)`` int64 with ``i < j``; ``similarities`` the
         matching exact values under :attr:`measure`.  Pairs with zero
         similarity (pure LSH/banding false positives) are always dropped —
-        they can never improve data reuse.
+        they can never improve data reuse.  ``deadline`` is threaded into
+        both the MinHash and banding passes (see
+        :class:`repro.resilience.Deadline`).
         """
-        signatures = minhash_signatures(csr, self.siglen, seed=self.seed)
+        signatures = minhash_signatures(
+            csr, self.siglen, seed=self.seed, deadline=deadline
+        )
         pairs = lsh_candidate_pairs(
             signatures,
             self.bsize,
             seed=self.seed + 1,
             bucket_cap=self.bucket_cap,
+            deadline=deadline,
         )
         if pairs.shape[0] == 0:
             return pairs, np.zeros(0, dtype=np.float64)

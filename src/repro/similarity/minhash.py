@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.resilience.faults import fault_point
 from repro.sparse.csr import CSRMatrix
 from repro.util.rng import as_generator
 from repro.util.validation import check_positive
@@ -41,7 +42,9 @@ MERSENNE_PRIME = np.int64(2**31 - 1)
 EMPTY_ROW_SENTINEL = np.int64(MERSENNE_PRIME)
 
 
-def minhash_signatures(csr: CSRMatrix, siglen: int, seed=None) -> np.ndarray:
+def minhash_signatures(
+    csr: CSRMatrix, siglen: int, seed=None, *, deadline=None
+) -> np.ndarray:
     """Compute MinHash signatures for every row of ``csr``.
 
     Parameters
@@ -52,6 +55,10 @@ def minhash_signatures(csr: CSRMatrix, siglen: int, seed=None) -> np.ndarray:
         Number of hash functions (the paper's ``siglen``; they use 128).
     seed:
         Anything accepted by :func:`repro.util.rng.as_generator`.
+    deadline:
+        Optional :class:`repro.resilience.Deadline`, polled once per hash
+        block (between complete ``O(nnz)`` passes, so cancellation never
+        leaves partial state).
 
     Returns
     -------
@@ -59,6 +66,7 @@ def minhash_signatures(csr: CSRMatrix, siglen: int, seed=None) -> np.ndarray:
         ``int64`` array of shape ``(n_rows, siglen)``.
     """
     siglen = check_positive("siglen", siglen)
+    fault_point("clustering.minhash")
     rng = as_generator(seed)
     n_rows = csr.n_rows
     out = np.empty((n_rows, siglen), dtype=np.int64)
@@ -85,6 +93,8 @@ def minhash_signatures(csr: CSRMatrix, siglen: int, seed=None) -> np.ndarray:
         block = max(1, min(HASH_BLOCK, siglen))
         hashed = np.empty((block, csr.nnz), dtype=np.int64)
         for k0 in range(0, siglen, block):
+            if deadline is not None:
+                deadline.check("minhash")
             k1 = min(k0 + block, siglen)
             h = hashed[: k1 - k0]
             np.multiply(a[k0:k1, None], cols[None, :], out=h)

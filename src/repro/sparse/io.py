@@ -6,6 +6,14 @@ This module implements a reader/writer for the subset of the format those
 collections use — ``matrix coordinate {real,integer,pattern}
 {general,symmetric,skew-symmetric}`` — so that real matrices can be dropped
 into the experiment harness when available.
+
+Error surface: every failure reading a *path* maps to a
+:class:`repro.errors.ReproError` subtype with the path in the message —
+filesystem problems become :class:`repro.errors.ReproIOError` (exit code
+``EXIT_IO``) after bounded retries of transient errors, undecodable bytes
+become :class:`repro.errors.FormatError` (``EXIT_DATA``) — so a sweep
+over a corpus directory never dies on a raw ``OSError`` traceback.  The
+path-based read also hosts the ``io.read`` fault-injection site.
 """
 
 from __future__ import annotations
@@ -16,7 +24,9 @@ import os
 import numpy as np
 
 from repro.contracts import checked, validates
-from repro.errors import FormatError
+from repro.errors import FormatError, ReproIOError
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import retry_io
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 
@@ -43,43 +53,69 @@ def read_matrix_market(path_or_file) -> CSRMatrix:
     ------
     FormatError
         On a malformed header, unsupported field/symmetry, wrong entry
-        counts, or out-of-range indices.
+        counts, out-of-range indices — or, for path inputs, bytes that do
+        not decode as text.
+    ReproIOError
+        When a path cannot be read (after bounded retries of transient
+        OS errors); the message carries the path.
     """
-    fh, should_close = _open_text(path_or_file, "r")
+    if hasattr(path_or_file, "read"):
+        return _parse_matrix_market(path_or_file)
+    path = os.fspath(path_or_file)
+    fault_point("io.read")
+
+    def _attempt() -> CSRMatrix:
+        with open(path, encoding="utf-8") as fh:
+            return _parse_matrix_market(fh)
+
     try:
-        header = fh.readline()
-        if not header.startswith("%%MatrixMarket"):
-            raise FormatError("missing %%MatrixMarket header")
-        parts = header.strip().split()
-        if len(parts) < 5:
-            raise FormatError(f"malformed header: {header.strip()!r}")
-        _, obj, fmt, field, symmetry = parts[:5]
-        obj, fmt = obj.lower(), fmt.lower()
-        field, symmetry = field.lower(), symmetry.lower()
-        if obj != "matrix" or fmt != "coordinate":
-            raise FormatError(
-                f"only 'matrix coordinate' files are supported, got {obj} {fmt}"
-            )
-        if field not in _SUPPORTED_FIELDS:
-            raise FormatError(f"unsupported field {field!r}")
-        if symmetry not in _SUPPORTED_SYMMETRY:
-            raise FormatError(f"unsupported symmetry {symmetry!r}")
+        return retry_io(_attempt, label=f"read {path}")
+    except UnicodeDecodeError as exc:
+        raise FormatError(
+            f"{path}: not a UTF-8 MatrixMarket text file ({exc})"
+        ) from exc
+    except ReproIOError:
+        raise  # already path-annotated (e.g. the injected io.read fault)
+    except OSError as exc:
+        raise ReproIOError(f"cannot read MatrixMarket file {path}: {exc}") from exc
 
-        # Skip comment lines.
+
+def _parse_matrix_market(fh) -> CSRMatrix:
+    """Parse an open MatrixMarket text stream (see ``read_matrix_market``).
+
+    The caller owns the handle: path opens are scoped by
+    ``read_matrix_market`` itself, file-object inputs stay open.
+    """
+    header = fh.readline()
+    if not header.startswith("%%MatrixMarket"):
+        raise FormatError("missing %%MatrixMarket header")
+    parts = header.strip().split()
+    if len(parts) < 5:
+        raise FormatError(f"malformed header: {header.strip()!r}")
+    _, obj, fmt, field, symmetry = parts[:5]
+    obj, fmt = obj.lower(), fmt.lower()
+    field, symmetry = field.lower(), symmetry.lower()
+    if obj != "matrix" or fmt != "coordinate":
+        raise FormatError(
+            f"only 'matrix coordinate' files are supported, got {obj} {fmt}"
+        )
+    if field not in _SUPPORTED_FIELDS:
+        raise FormatError(f"unsupported field {field!r}")
+    if symmetry not in _SUPPORTED_SYMMETRY:
+        raise FormatError(f"unsupported symmetry {symmetry!r}")
+
+    # Skip comment lines.
+    line = fh.readline()
+    while line and line.lstrip().startswith("%"):
         line = fh.readline()
-        while line and line.lstrip().startswith("%"):
-            line = fh.readline()
-        if not line:
-            raise FormatError("missing size line")
-        size_parts = line.split()
-        if len(size_parts) != 3:
-            raise FormatError(f"malformed size line: {line.strip()!r}")
-        m, n, declared_nnz = (int(p) for p in size_parts)
+    if not line:
+        raise FormatError("missing size line")
+    size_parts = line.split()
+    if len(size_parts) != 3:
+        raise FormatError(f"malformed size line: {line.strip()!r}")
+    m, n, declared_nnz = (int(p) for p in size_parts)
 
-        body = fh.read()
-    finally:
-        if should_close:
-            fh.close()
+    body = fh.read()
 
     if declared_nnz == 0:
         return CSRMatrix.empty((m, n))

@@ -1,0 +1,188 @@
+"""The chaos acceptance sweep plus crash/resume protocol tests.
+
+ISSUE acceptance criterion: with the fault injector enabled at the
+configured rate and a fixed seed, a ``run_experiment`` sweep over the
+synthetic corpus completes with **zero crashes**, every degraded plan's
+ladder step is recorded in provenance, and all emitted results are
+bitwise-equal to a fault-free reference for matrices that needed no
+degradation.
+"""
+
+import warnings
+
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.errors import ConfigError, DegradedExecution
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.resilience import FaultInjector, ResiliencePolicy, journal_status
+
+#: Fields legitimately differing between two runs of the same sweep.
+_NONDETERMINISTIC_FIELDS = ("preprocess_s",)
+
+#: The injection sites a model-based sweep actually traverses (kernel and
+#: io sites have their own chaos modules).
+SWEEP_SITES = (
+    "clustering.minhash",
+    "clustering.cluster",
+    "planstore.read",
+    "planstore.write",
+)
+
+
+def _comparable(record, *, drop_degradation=False):
+    d = record.as_dict()
+    for field in _NONDETERMINISTIC_FIELDS:
+        d.pop(field)
+    if drop_degradation:
+        d.pop("degradation")
+    return d
+
+
+def _config(**overrides):
+    kwargs = {"scale": "tiny", "repeats": 1, "ks": (64,), **overrides}
+    return ExperimentConfig(**kwargs)
+
+
+class TestChaosAcceptance:
+    def test_sweep_completes_degrades_honestly_and_stays_bitwise_correct(
+        self, tmp_path, chaos_rate, chaos_seed
+    ):
+        reference = run_experiment(_config())
+
+        chaos_config = _config(
+            resilience=ResiliencePolicy(),
+            plan_cache_dir=str(tmp_path / "cache"),
+        )
+        with FaultInjector(
+            rate=chaos_rate, seed=chaos_seed, sites=list(SWEEP_SITES)
+        ) as injector:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DegradedExecution)
+                records = run_experiment(chaos_config)  # zero crashes
+
+        assert len(records) == len(reference)
+        degraded = [r for r in records if r.degradation]
+        clean = [r for r in records if not r.degradation]
+        by_key = {(r.name, r.k): r for r in reference}
+
+        # Non-degraded results are bitwise-equal to the fault-free run.
+        for record in clean:
+            ref = by_key[(record.name, record.k)]
+            assert _comparable(record) == _comparable(ref)
+
+        # Degraded results carry their ladder history: the failed rung(s)
+        # with the exception, and the rung that finally succeeded.
+        for record in degraded:
+            assert "injected fault" in record.degradation
+            assert ": ok" in record.degradation
+
+        # The injector actually exercised the sweep's sites (vacuous runs
+        # prove nothing).  Clustering sites only arm when a reordering
+        # round runs, which every corpus scale guarantees for some matrix.
+        assert sum(injector.checked.values()) > 0
+        if chaos_rate > 0 and sum(injector.fired.values()) == 0:
+            pytest.skip("no fault fired at this (rate, seed); nothing to verify")
+        if chaos_rate > 0.05:
+            assert degraded or injector.fired.keys() <= {
+                "planstore.read", "planstore.write",
+            }
+
+
+class TestResumeProtocol:
+    def test_resume_recomputes_only_remaining_matrices(
+        self, tmp_path, monkeypatch
+    ):
+        config = _config()
+        checkpoint = tmp_path / "sweep.journal"
+        straight = run_experiment(config)
+
+        real = runner_module.run_single_matrix
+        calls = {"n": 0}
+
+        def interrupt_after_four(entry, cfg, executor, plan_cache=None):
+            calls["n"] += 1
+            if calls["n"] == 5:
+                raise KeyboardInterrupt
+            return real(entry, cfg, executor, plan_cache=plan_cache)
+
+        monkeypatch.setattr(runner_module, "run_single_matrix", interrupt_after_four)
+        with pytest.raises(KeyboardInterrupt):
+            run_experiment(config, checkpoint=checkpoint)
+
+        status = journal_status(checkpoint)
+        assert status["valid"] and status["interrupted"]
+        assert len(status["completed"]) == 4
+
+        # Resume: the spy proves only the remaining matrices recompute.
+        resumed_calls = {"n": 0}
+
+        def counting(entry, cfg, executor, plan_cache=None):
+            resumed_calls["n"] += 1
+            return real(entry, cfg, executor, plan_cache=plan_cache)
+
+        monkeypatch.setattr(runner_module, "run_single_matrix", counting)
+        resumed = run_experiment(config, checkpoint=checkpoint, resume=True)
+
+        total = len({r.name for r in straight})
+        assert resumed_calls["n"] == total - 4
+        assert [_comparable(r) for r in resumed] == [
+            _comparable(r) for r in straight
+        ]
+        assert journal_status(checkpoint)["complete"]
+
+    def test_resume_under_other_config_is_refused(self, tmp_path):
+        checkpoint = tmp_path / "sweep.journal"
+        run_experiment(_config(), checkpoint=checkpoint)
+        with pytest.raises(ConfigError, match="different"):
+            run_experiment(_config(ks=(128,)), checkpoint=checkpoint, resume=True)
+
+    def test_parallel_resume_matches_sequential(self, tmp_path, monkeypatch):
+        config = _config()
+        checkpoint = tmp_path / "sweep.journal"
+        straight = run_experiment(config)
+
+        real = runner_module.run_single_matrix
+        calls = {"n": 0}
+
+        def interrupt_after_two(entry, cfg, executor, plan_cache=None):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise KeyboardInterrupt
+            return real(entry, cfg, executor, plan_cache=plan_cache)
+
+        monkeypatch.setattr(runner_module, "run_single_matrix", interrupt_after_two)
+        with pytest.raises(KeyboardInterrupt):
+            run_experiment(config, checkpoint=checkpoint)
+        monkeypatch.setattr(runner_module, "run_single_matrix", real)
+
+        # Resume with a worker pool: journalled chunks replay, the rest
+        # fan out, and the record set still matches corpus order.
+        resumed = run_experiment(
+            config, checkpoint=checkpoint, resume=True, n_jobs=2
+        )
+        assert [_comparable(r) for r in resumed] == [
+            _comparable(r) for r in straight
+        ]
+
+    def test_interrupt_flushes_before_propagating(self, tmp_path, monkeypatch):
+        config = _config()
+        checkpoint = tmp_path / "sweep.journal"
+        real = runner_module.run_single_matrix
+
+        def interrupt_immediately(entry, cfg, executor, plan_cache=None):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            runner_module, "run_single_matrix", interrupt_immediately
+        )
+        with pytest.raises(KeyboardInterrupt):
+            run_experiment(config, checkpoint=checkpoint)
+        # Even a first-matrix Ctrl-C leaves a valid, resumable journal.
+        status = journal_status(checkpoint)
+        assert status["valid"] and status["interrupted"]
+        assert status["completed"] == []
+
+        monkeypatch.setattr(runner_module, "run_single_matrix", real)
+        resumed = run_experiment(config, checkpoint=checkpoint, resume=True)
+        assert len(resumed) == len(run_experiment(config))

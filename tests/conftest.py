@@ -80,3 +80,32 @@ def random_csr(rng, m, n, density=0.1) -> CSRMatrix:
     cols = rng.integers(0, n, size=nnz)
     vals = rng.normal(size=nnz)
     return COOMatrix.from_arrays((m, n), rows, cols, vals).to_csr()
+
+
+# --- Chaos-suite knobs (tests/chaos) ----------------------------------------
+#
+# The CI ``chaos`` job runs tests/chaos twice with pinned seeds at two
+# injection rates via environment variables::
+#
+#     REPRO_CHAOS_RATE=0.05 REPRO_CHAOS_SEED=1337 pytest tests/chaos
+#     REPRO_CHAOS_RATE=0.2  REPRO_CHAOS_SEED=2020 pytest tests/chaos
+#
+# Locally both default (rate 0.1, seed 42).  Every chaos test must hold the
+# same contract at any rate: no crash escapes, and whatever completes is
+# bitwise-correct — degraded where the report says so, identical to the
+# fault-free reference everywhere else.  (These live in the top-level
+# conftest because test directories carry no __init__.py: a second
+# ``conftest`` module in a subdirectory would shadow this one in
+# ``sys.modules`` for tests that ``from conftest import ...``.)
+
+
+@pytest.fixture(scope="session")
+def chaos_rate() -> float:
+    """Injection probability per fault-point arrival (env-overridable)."""
+    return float(os.environ.get("REPRO_CHAOS_RATE", "0.1"))
+
+
+@pytest.fixture(scope="session")
+def chaos_seed() -> int:
+    """Injector stream seed (env-overridable; pinned in CI)."""
+    return int(os.environ.get("REPRO_CHAOS_SEED", "42"))

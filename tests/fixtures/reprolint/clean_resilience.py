@@ -1,0 +1,17 @@
+"""Fixture: named-exception counterparts of the RD106 violations."""
+
+
+def swallow_named():
+    """Named types: no RD106."""
+    try:
+        return 1
+    except (ValueError, OSError):
+        return None
+
+
+def capture_for_pool_worker():
+    """Justified suppression: RD106 disabled with a reason."""
+    try:
+        return 1
+    except Exception as exc:  # reprolint: disable=RD106 -- worker marshals failures
+        return str(exc)

@@ -1,0 +1,25 @@
+"""Fixture: every RD106 broad-except form fires in this file."""
+
+
+def swallow_exception():
+    """RD106: except Exception."""
+    try:
+        return 1
+    except Exception:
+        return None
+
+
+def swallow_base():
+    """RD106: except BaseException."""
+    try:
+        return 1
+    except BaseException:
+        return None
+
+
+def swallow_in_tuple():
+    """RD106: Exception hiding inside a tuple of types."""
+    try:
+        return 1
+    except (ValueError, Exception):
+        return None

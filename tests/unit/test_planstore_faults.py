@@ -103,7 +103,7 @@ class TestCorruptEntries:
 
 
 class TestVersionMismatch:
-    def test_future_version_is_miss_with_warning_not_quarantine(
+    def test_other_version_is_miss_and_quarantined(
         self, tmp_path, decisions, caplog
     ):
         store = DiskPlanStore(tmp_path)
@@ -118,9 +118,13 @@ class TestVersionMismatch:
         with caplog.at_level(logging.WARNING, logger="repro.planstore"):
             assert store.get(KEY) is None
         assert _warning_count(caplog) == 1
-        # Not corruption: the entry stays in place for the newer reader
-        # that understands it.
-        assert store.path_for(KEY).exists()
+        # The entry is unusable by this reader, so it is moved aside like
+        # any other unreadable file; the next put replaces it (self-heal).
+        assert not store.path_for(KEY).exists()
+        assert store.quarantined()
+        store.put(KEY, decisions)
+        assert store.get(KEY) is not None
+        assert not store.quarantined()
 
 
 class TestEndToEndDegradation:

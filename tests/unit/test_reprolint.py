@@ -153,6 +153,31 @@ class TestHygieneRules:
         assert lint_fixture("flagged_cli.py", module_path=IN_SCOPE) == []
 
 
+class TestBroadExceptRule:
+    def test_flagged_fixture_fires_rd106(self):
+        findings = lint_fixture("flagged_resilience.py")
+        assert codes_of(findings) == ["RD106", "RD106", "RD106"]
+
+    def test_clean_fixture_is_silent(self):
+        assert lint_fixture("clean_resilience.py") == []
+
+    def test_resilience_layer_is_exempt(self):
+        findings = lint_fixture(
+            "flagged_resilience.py", module_path="repro/resilience/faults.py"
+        )
+        assert findings == []
+
+    def test_inactive_outside_library_paths(self):
+        findings = lint_fixture(
+            "flagged_resilience.py", module_path="scripts/tool.py"
+        )
+        assert findings == []
+
+    def test_message_names_the_broad_type(self):
+        findings = lint_fixture("flagged_resilience.py")
+        assert any("except BaseException" in f.message for f in findings)
+
+
 class TestSuppressions:
     def test_suppressed_codes_are_filtered(self):
         findings = lint_fixture("suppressed.py")
