@@ -46,6 +46,11 @@ DEFAULT_SCOPES: dict[str, tuple[str, ...]] = {
     ),
     # RD104: packages whose results must not depend on wall-clock reads.
     "wallclock-paths": ("repro/kernels", "repro/aspt", "repro/clustering"),
+    # RD107: all library code must route monotonic-clock reads through an
+    # injectable ``clock`` parameter...
+    "clock-injection-paths": ("repro",),
+    # ...except the observability layer, which owns the default clock.
+    "clock-exempt-paths": ("repro/observability",),
     # RD105: kernel code whose nnz-proportional scratch must come from the
     # workspace pool rather than per-call allocation.
     "workspace-scratch-paths": ("repro/kernels",),

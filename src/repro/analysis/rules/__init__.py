@@ -3,7 +3,8 @@
 Importing this package registers every rule into
 :data:`repro.analysis.core.REGISTRY`.  Rules are grouped by code band:
 
-* :mod:`repro.analysis.rules.determinism` — RD101-RD104
+* :mod:`repro.analysis.rules.determinism` — RD101-RD104, plus RD107
+  (direct monotonic-clock calls that bypass clock injection)
 * :mod:`repro.analysis.rules.performance` — RD105 (hot-path allocations)
 * :mod:`repro.analysis.rules.numerical` — RD2xx
 * :mod:`repro.analysis.rules.hygiene` — RD3xx, plus RD106 (broad except

@@ -19,6 +19,7 @@ __all__ = [
     "LegacyNumpyRandomRule",
     "SetIterationRule",
     "WallClockRule",
+    "InjectableClockRule",
 ]
 
 #: Legacy ``np.random.*`` module-level API (global-state RNG).  The modern
@@ -200,3 +201,56 @@ class WallClockRule(Rule):
                         "move timing to the caller (repro.util.timing)",
                     )
                     break
+
+
+#: Monotonic-clock reads RD107 requires to be injected rather than called
+#: directly (passing ``time.perf_counter`` as a default *reference* is the
+#: sanctioned pattern; *calling* it inline defeats clock injection).
+_MONOTONIC_CLOCK_FNS = {
+    "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+}
+
+
+@register
+class InjectableClockRule(Rule):
+    """RD107: direct monotonic-clock *calls* in library code.
+
+    Tracing, timing and deadline code all take an injectable ``clock``
+    callable so tests can drive time deterministically (golden traces,
+    deadline unit tests).  A direct ``time.perf_counter()`` call bypasses
+    that seam: the caller can no longer substitute a fake clock, and the
+    measurement silently diverges from every traced/timed sibling.
+    Reference the clock (``clock=time.perf_counter``) and call the
+    injected name instead.  The observability package — the layer that
+    *owns* the default clock — is exempt.
+    """
+
+    code = "RD107"
+    name = "direct-monotonic-clock-call"
+    summary = (
+        "time.perf_counter()/time.monotonic() called directly in library "
+        "code; accept an injectable clock=time.perf_counter parameter and "
+        "call that instead"
+    )
+    scope_key = "clock-injection-paths"
+    exempt_key = "clock-exempt-paths"
+
+    def visit(self, ctx: FileContext):
+        """Flag direct calls of the ``time`` module's monotonic clocks."""
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            func = node.func
+            base = func.value
+            base_named = (
+                isinstance(base, ast.Name) and base.id == "time"
+            ) or (
+                isinstance(base, ast.Attribute) and base.attr == "time"
+            )
+            if base_named and func.attr in _MONOTONIC_CLOCK_FNS:
+                yield ctx.finding(
+                    node, self.code,
+                    f"direct time.{func.attr}() call; take an injectable "
+                    "clock parameter (clock=time.perf_counter) and call "
+                    "the injected name",
+                )

@@ -57,15 +57,15 @@ DEFAULT_TOLERANCE = 0.25
 
 # ----------------------------------------------------------------------
 # measurement helpers
-def _timed(fn, repeats: int, warmup: int = 2) -> dict:
+def _timed(fn, repeats: int, warmup: int = 2, clock=time.perf_counter) -> dict:
     """Median / p95 wall-clock of ``fn()`` over ``repeats`` samples."""
     for _ in range(warmup):
         fn()
     samples = []
     for _ in range(repeats):
-        t0 = time.perf_counter()
+        t0 = clock()
         fn()
-        samples.append((time.perf_counter() - t0) * 1e3)
+        samples.append((clock() - t0) * 1e3)
     samples.sort()
     p95_index = max(0, int(np.ceil(0.95 * len(samples))) - 1)
     return {
@@ -118,6 +118,17 @@ def _suite_kernels(quick: bool) -> dict:
         "spmm_tiled_oneshot": _metric(lambda: spmm_tiled(tiled, X), repeats),
         "spmm_tiled_session": _metric(lambda: tiled_session.run(X), repeats),
     }
+    # Traced variant of the session cell: the same workload under an
+    # installed tracer.  Its drift is gated like every other metric, so a
+    # regression in the *enabled* tracing path is caught here while the
+    # disabled-path budget is asserted by benchmarks/bench_observability.
+    from repro.observability import Tracer, tracing
+
+    with tracing(Tracer()):
+        tiled_session.run(X)  # warm under the tracer
+        metrics["spmm_tiled_session_traced"] = _metric(
+            lambda: tiled_session.run(X), repeats
+        )
     speedups = {
         "spmm_session_vs_oneshot": round(
             metrics["spmm_oneshot"]["median_ms"]

@@ -15,6 +15,7 @@ Subcommands::
     repro report    --records results.json --out EXPERIMENTS.md
     repro lint      src/ tests/ [--format json]      # reprolint static analysis
     repro bench     --gate [--quick]                 # perf-regression gate
+    repro trace     in.mtx [--k 512] [--runs 3]      # Chrome trace of one build+run
     repro generators
 
 ``repro run`` executes the corpus experiment and writes the JSON records
@@ -233,6 +234,23 @@ def build_parser() -> argparse.ArgumentParser:
     be.add_argument(
         "--update-baseline", action="store_true",
         help="overwrite the baselines with the fresh numbers instead of gating",
+    )
+
+    tr = sub.add_parser(
+        "trace", help="trace one plan build + kernel run (Chrome trace_event JSON)"
+    )
+    tr.add_argument("mtx", help="input .mtx file")
+    tr.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="trace output path (default: <mtx stem>.trace.json)",
+    )
+    tr.add_argument("--k", type=int, default=512, help="dense operand width")
+    tr.add_argument("--runs", type=int, default=3, help="kernel runs to record")
+    tr.add_argument("--panel-height", type=int, default=64)
+    tr.add_argument(
+        "--gated", action="store_true",
+        help="let the paper's §4 heuristics gate the reordering rounds "
+        "(default: force both on so every pipeline stage appears in the trace)",
     )
 
     sub.add_parser("generators", help="list dataset generators")
@@ -504,6 +522,51 @@ def _cmd_autotune(args) -> int:
         f"({result.speedup:.2f}x)\n"
         f"decision: {choice}"
     )
+    return 0
+
+
+@cli_handler("trace")
+def _cmd_trace(args) -> int:
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.observability import (
+        METRICS,
+        Tracer,
+        format_metrics,
+        trace_summary,
+        tracing,
+    )
+    from repro.reorder import ReorderConfig
+    from repro.sparse import read_matrix_market
+
+    matrix = read_matrix_market(args.mtx)
+    config = ReorderConfig(panel_height=args.panel_height)
+    if not args.gated:
+        # Diagnostic default: force both rounds on so the trace covers
+        # every pipeline stage even for matrices the §4 gates would skip.
+        from dataclasses import replace
+
+        config = replace(config, force_round1=True, force_round2=True)
+
+    from repro.reorder import build_plan
+
+    tracer = Tracer()
+    with tracing(tracer):
+        plan = build_plan(matrix, config)
+        session = plan.session()
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((matrix.n_cols, args.k))
+        for _ in range(args.runs):
+            session.run(x)
+
+    out = args.out or (Path(args.mtx).stem + ".trace.json")
+    tracer.write_chrome_trace(out)
+    print(trace_summary(tracer))
+    print()
+    print(format_metrics(METRICS.snapshot()))
+    print(f"\nwrote {out} (load in chrome://tracing or https://ui.perfetto.dev)")
     return 0
 
 

@@ -64,6 +64,7 @@ import numpy as np
 from repro.clustering.ordering import clusters_from_forest, order_from_clusters
 from repro.clustering.union_find import UnionFind
 from repro.errors import ValidationError
+from repro.observability.metrics import METRICS
 from repro.resilience.faults import fault_point
 from repro.similarity.measures import similarity_for_pairs
 from repro.sparse.csr import CSRMatrix
@@ -253,6 +254,7 @@ def cluster_rows(
     n_merges = 0
     n_retired = 0
     n_requeued = 0
+    n_scored = 0
     iters = 0
 
     while live_clusters > 0 and (spos < send or rq or pending):
@@ -286,6 +288,7 @@ def cluster_rows(
                         row_sets[b] = sb
                     s = _scalar_score(measure, len(sa & sb), lens[a], lens[b])
                     heappush(rq, (-s, a, b))
+                    n_scored += 1
                 else:
                     # Batch-score the drained requeue requests with one
                     # NumPy call and fold them into the requeue heap
@@ -295,6 +298,7 @@ def cluster_rows(
                     )
                     for (a, b), s in zip(pending, scores.tolist()):
                         heappush(rq, (-s, a, b))
+                    n_scored += len(pending)
                 pending.clear()
                 pending_bound = -1.0
                 continue
@@ -348,6 +352,14 @@ def cluster_rows(
                 if ub > pending_bound:
                     pending_bound = ub
                 n_requeued += 1
+
+    # One registry update per call (not per merge) keeps the loop lock-free.
+    METRICS.counter(
+        "clustering.pairs_scored", "similarity evaluations during clustering"
+    ).inc(n_scored)
+    METRICS.counter(
+        "clustering.heap_requeues", "requeued representative collisions re-scored"
+    ).inc(n_requeued)
 
     forest = UnionFind(n)
     forest.parent[:] = parent

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 __all__ = ["MatrixRecord", "save_records", "load_records"]
 
@@ -54,6 +54,12 @@ class MatrixRecord:
     #: ok"``); empty for clean builds.  Defaulted so records saved before
     #: this field existed still load.
     degradation: str = ""
+    #: Per-stage preprocessing wall-clock seconds of the reordered plan
+    #: build (``lsh1``/``cluster1``/``tile``/... — the
+    #: ``ExecutionPlan.preprocess_seconds`` breakdown), landed here so
+    #: sweep records carry stage attribution, not just the total.
+    #: Defaulted so records saved before this field existed still load.
+    stage_seconds: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # derived quantities used by the tables/figures

@@ -32,6 +32,7 @@ from repro.datasets.corpus import CorpusEntry, build_corpus
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.records import MatrixRecord
 from repro.gpu.executor import GPUExecutor
+from repro.observability.tracing import span
 from repro.reorder.pipeline import build_plan
 from repro.util.log import get_logger
 
@@ -67,15 +68,17 @@ def run_single_matrix(
 ) -> list[MatrixRecord]:
     """Evaluate one corpus entry at every ``K``; returns one record per K."""
     csr = entry.matrix
-    plan_nr = build_plan(
-        csr,
-        replace(config.reorder, force_round1=False, force_round2=False),
-        cache=plan_cache,
-        resilience=config.resilience,
-    )
-    plan_rr = build_plan(
-        csr, config.reorder, cache=plan_cache, resilience=config.resilience
-    )
+    with span("plan_nr", matrix=entry.name):
+        plan_nr = build_plan(
+            csr,
+            replace(config.reorder, force_round1=False, force_round2=False),
+            cache=plan_cache,
+            resilience=config.resilience,
+        )
+    with span("plan_rr", matrix=entry.name):
+        plan_rr = build_plan(
+            csr, config.reorder, cache=plan_cache, resilience=config.resilience
+        )
     if config.verify:
         plan_rr.validate()
         plan_nr.validate()
@@ -130,6 +133,7 @@ def run_single_matrix(
                 dense_ratio_after=stats.dense_ratio_after,
                 preprocess_s=plan_rr.preprocessing_time,
                 degradation=degradation,
+                stage_seconds=dict(plan_rr.preprocess_seconds),
             )
         )
     return records
@@ -143,6 +147,7 @@ def run_experiment(
     n_jobs: int = 1,
     checkpoint=None,
     resume: bool = False,
+    trace=None,
 ) -> list[MatrixRecord]:
     """Run the full corpus experiment.
 
@@ -169,6 +174,13 @@ def run_experiment(
         and compute only the rest.  The journal's config digest must
         match ``config`` (:class:`repro.errors.ConfigError` otherwise).
         Without an existing journal this is an ordinary fresh run.
+    trace:
+        Optional :class:`repro.observability.Tracer` installed for the
+        duration of the sweep, collecting per-matrix and per-stage spans
+        (per-stage timings additionally land in every record's
+        ``stage_seconds``, traced or not).  Worker processes of a
+        parallel run (``n_jobs > 1``) do not propagate the tracer — use
+        sequential mode for a complete span tree.
 
     Returns
     -------
@@ -200,6 +212,8 @@ def run_experiment(
             journal = SweepJournal.start_sweep(checkpoint, config, len(entries))
     keys = [f"{i}:{entry.name}" for i, entry in enumerate(entries)]
 
+    if trace is not None:
+        trace.install()
     try:
         if n_jobs > 1:
             records = _run_parallel(config, entries, keys, done, journal, n_jobs)
@@ -218,6 +232,8 @@ def run_experiment(
     finally:
         if journal is not None:
             journal.close()
+        if trace is not None:
+            trace.uninstall()
 
 
 def _run_sequential(config, entries, keys, done, journal, progress):
@@ -242,7 +258,8 @@ def _run_sequential(config, entries, keys, done, journal, progress):
             )
         if journal is not None:
             journal.mark_started(key)
-        chunk = run_single_matrix(entry, config, executor, plan_cache=plan_cache)
+        with span("matrix", matrix=entry.name, nnz=entry.matrix.nnz):
+            chunk = run_single_matrix(entry, config, executor, plan_cache=plan_cache)
         if journal is not None:
             journal.mark_done(key, [r.as_dict() for r in chunk])
         records.extend(chunk)

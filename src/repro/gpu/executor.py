@@ -39,6 +39,7 @@ from repro.gpu.coalescing import row_load_bytes
 from repro.gpu.costmodel import CostModelConfig, KernelCost
 from repro.gpu.device import P100, DeviceSpec
 from repro.gpu.trace import block_access_stream
+from repro.observability.metrics import METRICS
 from repro.sparse.csr import CSRMatrix
 from repro.util.validation import check_positive
 
@@ -106,6 +107,7 @@ class GPUExecutor:
         # All nnz accesses (pre-dedup) read K floats; the non-DRAM ones are
         # served by L1/L2 and consume L2 bandwidth.
         l2 = float(csr.nnz - stats.misses) * row_bytes
+        METRICS.counter("gpu.l2_hits", "modelled L2 hits").inc(int(stats.hits))
         return dram, l2, stats
 
     def _dense_preload_traffic(
@@ -130,6 +132,12 @@ class GPUExecutor:
         else:
             stats = approx_lru_hits(stream, capacity, slack=self.config.cache_slack)
         row_bytes = self._row_bytes(k)
+        METRICS.counter("gpu.l2_hits", "modelled L2 hits").inc(int(stats.hits))
+        # Every preloaded row is staged through shared memory regardless of
+        # which cache level served it.
+        METRICS.counter("gpu.shm_bytes", "bytes staged through shared memory").inc(
+            int((stats.misses + stats.hits) * row_bytes)
+        )
         return float(stats.misses) * row_bytes, float(stats.hits) * row_bytes
 
     def _s_stream_bytes(self, csr: CSRMatrix) -> float:
@@ -155,6 +163,9 @@ class GPUExecutor:
     ) -> KernelCost:
         cfg = self.config
         total_bytes = float(sum(bytes_breakdown.values()))
+        METRICS.counter("gpu.global_txns", "modelled DRAM transactions").inc(
+            int(total_bytes // self.device.l2_line_bytes)
+        )
         bw = self.device.dram_bandwidth * cfg.bw_eff(variant)
         time_mem = total_bytes / bw
         time_l2 = l2_bytes / self.device.l2_bandwidth

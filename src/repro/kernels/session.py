@@ -53,6 +53,8 @@ import numpy as np
 from repro.aspt.tiles import TiledMatrix
 from repro.errors import DegradedExecution, WorkspaceExhausted
 from repro.kernels.aspt_spmm import _panel_dense_spmm, panel_plan
+from repro.observability.metrics import METRICS
+from repro.observability.tracing import span
 from repro.resilience.faults import fault_point
 from repro.sparse.csr import CSRMatrix
 from repro.util.log import get_logger
@@ -174,9 +176,11 @@ class KernelSession:
             raise ValueError(f"chunk_k must be >= 1, got {chunk_k}")
         self.chunk_k = int(chunk_k)
         self.pool = pool if pool is not None else WorkspacePool()
-        #: Calls completed through the direct-allocation fallback after
-        #: workspace exhaustion (observable for tests and reports).
-        self.fallbacks = 0
+        # Per-session child of the global workspace.fallback instrument
+        # (exposed read-only through the ``fallbacks`` property).
+        self._fallbacks = METRICS.counter(
+            "workspace.fallback", "session runs that bypassed the pool"
+        ).child()
         self._warned_fallback = False
         self._local = threading.local()
         self._plan = None
@@ -227,6 +231,12 @@ class KernelSession:
         """Columns of the pinned target (required rows of operands)."""
         return self._n_cols
 
+    @property
+    def fallbacks(self) -> int:
+        """Calls completed through the direct-allocation fallback after
+        workspace exhaustion (per-session view of ``workspace.fallback``)."""
+        return self._fallbacks.value
+
     def stats(self) -> dict:
         """Workspace-pool counters (steady state: hits, no misses)."""
         return self.pool.stats()
@@ -267,14 +277,15 @@ class KernelSession:
         K = X.shape[1]
         out = self._output(K, out)
         try:
-            with self.pool.lease() as ws:
-                fault_point("session.run")
-                self._dispatch(X, out, ws)
+            with span("kernel.run", kind=self._kind, k=K):
+                with self.pool.lease() as ws:
+                    fault_point("session.run")
+                    self._dispatch(X, out, ws)
         except WorkspaceExhausted as exc:
             # Safe to rerun from the top: every dispatch path fully
             # overwrites ``out``, so a partial first attempt leaves no
             # trace in the final result.
-            self.fallbacks += 1
+            self._fallbacks.inc()
             if not self._warned_fallback:
                 self._warned_fallback = True
                 warnings.warn(
@@ -284,7 +295,8 @@ class KernelSession:
                     stacklevel=2,
                 )
             _log.warning("session fallback to direct allocation: %s", exc)
-            self._dispatch(X, out, _DirectWorkspace())
+            with span("kernel.run.fallback", kind=self._kind, k=K):
+                self._dispatch(X, out, _DirectWorkspace())
         return out
 
     def _dispatch(self, X: np.ndarray, out: np.ndarray, ws) -> None:

@@ -1,0 +1,67 @@
+"""Text rendering of a trace: a flamegraph-ish per-stage summary.
+
+``repro trace`` prints this after writing the Chrome JSON so the stage
+breakdown is readable without opening Perfetto: one line per span,
+indented by depth, with duration, share of the root span, and a crude
+bar proportional to that share.
+"""
+
+from __future__ import annotations
+
+__all__ = ["trace_summary", "format_metrics"]
+
+_BAR_WIDTH = 30
+
+
+def _render(span_dict: dict, root_duration: float, depth: int, lines: list) -> None:
+    duration = span_dict.get("duration_s") or 0.0
+    share = duration / root_duration if root_duration > 0 else 0.0
+    bar = "#" * max(1, round(share * _BAR_WIDTH)) if duration > 0 else ""
+    name = "  " * depth + span_dict["name"]
+    error = span_dict.get("error")
+    suffix = f"  [error: {error}]" if error else ""
+    lines.append(f"{name:<34} {duration * 1e3:>10.3f} ms {share:>6.1%}  {bar}{suffix}")
+    for child in span_dict.get("children", ()):
+        _render(child, root_duration, depth + 1, lines)
+
+
+def trace_summary(tracer) -> str:
+    """Render a tracer's span trees as an indented text flamegraph.
+
+    One line per span: name (indented by nesting depth), wall-clock
+    milliseconds, percentage of its root span, and a proportional bar.
+    Accepts a :class:`~repro.observability.Tracer` (or any object with a
+    compatible ``to_dicts()``).
+    """
+    lines: list[str] = []
+    roots = tracer.to_dicts()
+    if not roots:
+        return "(no spans recorded)"
+    header = f"{'span':<34} {'duration':>13} {'share':>6}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for root in roots:
+        root_duration = root.get("duration_s") or 0.0
+        _render(root, root_duration, 0, lines)
+    return "\n".join(lines)
+
+
+def format_metrics(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as aligned text lines.
+
+    Histogram entries render as ``count/sum``; counters and gauges as
+    their value.  Zero-valued instruments are skipped so the report only
+    shows what actually happened.
+    """
+    lines = []
+    for name, value in sorted(snapshot.items()):
+        if isinstance(value, dict):
+            if not value.get("count"):
+                continue
+            rendered = f"count={value['count']} sum={value['sum']:.6g}"
+        else:
+            if not value:
+                continue
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"{name:<34} {rendered}")
+    return "\n".join(lines) if lines else "(no activity recorded)"

@@ -18,6 +18,7 @@ from __future__ import annotations
 import traceback
 from dataclasses import dataclass
 
+from repro.observability.tracing import span
 from repro.reorder.pipeline import ExecutionPlan, ReorderConfig, build_plan
 from repro.sparse.csr import CSRMatrix
 from repro.util.log import get_logger
@@ -98,32 +99,37 @@ def build_plans(
 
     results: dict[int, PlanResult] = {}
     pending: list[tuple[int, CSRMatrix]] = []
-    for index, csr in enumerate(matrices):
-        if cache is not None:
-            try:
-                key = cache.key_for(csr, config)
-                decisions = cache.get(key)
-            except Exception as exc:  # noqa: BLE001  # reprolint: disable=RD106 -- any cache trouble must degrade to a miss, not abort the batch
-                _log.warning("plan cache lookup failed for #%d: %s", index, exc)
-                decisions = None
-            if decisions is not None:
-                results[index] = PlanResult(
-                    index=index,
-                    plan=decisions.materialise(csr, config),
-                    cache_hit=True,
+    with span("batch.cache_sweep", matrices=len(matrices)):
+        for index, csr in enumerate(matrices):
+            if cache is not None:
+                try:
+                    key = cache.key_for(csr, config)
+                    decisions = cache.get(key)
+                except Exception as exc:  # noqa: BLE001  # reprolint: disable=RD106 -- any cache trouble must degrade to a miss, not abort the batch
+                    _log.warning("plan cache lookup failed for #%d: %s", index, exc)
+                    decisions = None
+                if decisions is not None:
+                    results[index] = PlanResult(
+                        index=index,
+                        plan=decisions.materialise(csr, config),
+                        cache_hit=True,
+                    )
+                    continue
+            pending.append((index, csr))
+
+    # Worker processes carry no tracer: only the parent-side serial path
+    # contributes per-matrix build spans (the pool path records the
+    # batch.build envelope around the fan-out).
+    with span("batch.build", pending=len(pending), workers=workers):
+        if workers == 1 or len(pending) <= 1:
+            built = [_build_one((i, csr, config)) for i, csr in pending]
+        else:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+                built = list(
+                    pool.map(_build_one, [(i, csr, config) for i, csr in pending])
                 )
-                continue
-        pending.append((index, csr))
-
-    if workers == 1 or len(pending) <= 1:
-        built = [_build_one((i, csr, config)) for i, csr in pending]
-    else:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
-            built = list(
-                pool.map(_build_one, [(i, csr, config) for i, csr in pending])
-            )
 
     for index, plan, error, details in built:
         if plan is not None and cache is not None:

@@ -39,6 +39,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import CorruptStoreError
+from repro.observability.metrics import METRICS
+from repro.observability.tracing import span
 from repro.planstore.decisions import PlanDecisions
 from repro.planstore.fingerprint import PLAN_FORMAT_VERSION
 from repro.reorder.pipeline import PlanStats
@@ -49,6 +51,11 @@ from repro.util.log import get_logger
 __all__ = ["DiskPlanStore"]
 
 _log = get_logger("planstore")
+
+#: Global count of entries moved aside as ``*.corrupt`` (all stores).
+_QUARANTINES = METRICS.counter(
+    "planstore.quarantine", "corrupt plan files moved aside"
+)
 
 #: Exceptions that mean "this entry is unreadable", not "the program is
 #: broken": zip-level damage, missing/ill-shaped arrays, checksum or
@@ -108,8 +115,9 @@ class DiskPlanStore:
             self.stats.misses += 1
             return None
         try:
-            fault_point("planstore.read")
-            decisions = self._read(path)
+            with span("planstore.get", key=key):
+                fault_point("planstore.read")
+                decisions = self._read(path)
         except _READ_FAILURES as exc:
             _log.warning(
                 "plan cache %s: unreadable (%s: %s); quarantining",
@@ -135,10 +143,11 @@ class DiskPlanStore:
         path = self.path_for(key)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
         try:
-            retry_io(
-                lambda: self._write(tmp, path, decisions),
-                label=f"plan cache put {path.name}",
-            )
+            with span("planstore.put", key=key):
+                retry_io(
+                    lambda: self._write(tmp, path, decisions),
+                    label=f"plan cache put {path.name}",
+                )
             self.stats.puts += 1
         except OSError as exc:
             _log.warning("plan cache: could not write %s (%s)", path.name, exc)
@@ -240,6 +249,7 @@ class DiskPlanStore:
     def _quarantine(self, path: Path) -> None:
         try:
             os.replace(path, path.with_name(path.name + ".corrupt"))
+            _QUARANTINES.inc()
         except OSError:  # already gone, or unwritable dir — miss either way
             pass
 

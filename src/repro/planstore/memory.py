@@ -17,19 +17,65 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.observability.metrics import METRICS
 from repro.planstore.decisions import PlanDecisions
 
 __all__ = ["CacheStats", "LRUPlanCache"]
 
 
-@dataclass
 class CacheStats:
-    """Counters of one cache tier (all monotonically non-decreasing)."""
+    """Counters of one cache tier (all monotonically non-decreasing).
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    puts: int = 0
+    Each instance holds per-tier children of the process-global
+    ``planstore.hit/miss/evict/put`` instruments (see
+    :mod:`repro.observability.metrics`): reads and ``+=`` writes keep
+    their historical per-object semantics while every tier rolls up into
+    the registry.  Attempting to decrease a counter raises.
+    """
+
+    __slots__ = ("_hits", "_misses", "_evictions", "_puts")
+
+    def __init__(self) -> None:
+        self._hits = METRICS.counter("planstore.hit", "plan-cache lookups served").child()
+        self._misses = METRICS.counter("planstore.miss", "plan-cache lookups that missed").child()
+        self._evictions = METRICS.counter("planstore.evict", "plan-cache entries evicted").child()
+        self._puts = METRICS.counter("planstore.put", "plan-cache inserts").child()
+
+    @property
+    def hits(self) -> int:
+        """Lookups served by this tier."""
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.inc(value - self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        """Lookups this tier could not serve."""
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.inc(value - self._misses.value)
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped to stay within capacity."""
+        return self._evictions.value
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self._evictions.inc(value - self._evictions.value)
+
+    @property
+    def puts(self) -> int:
+        """Inserts accepted by this tier."""
+        return self._puts.value
+
+    @puts.setter
+    def puts(self, value: int) -> None:
+        self._puts.inc(value - self._puts.value)
 
     def as_dict(self) -> dict:
         """Plain-dict view (for logging / CLI reporting)."""
@@ -39,6 +85,12 @@ class CacheStats:
             "evictions": self.evictions,
             "puts": self.puts,
         }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, puts={self.puts})"
+        )
 
 
 @dataclass

@@ -30,6 +30,8 @@ from repro.kernels.aspt_sddmm import sddmm_tiled
 from repro.kernels.aspt_spmm import _panel_dense_spmm
 from repro.kernels.spmm import spmm
 from repro.kernels.sddmm import sddmm
+from repro.observability.metrics import METRICS
+from repro.observability.tracing import span
 from repro.reorder.heuristics import should_reorder_round1, should_reorder_round2
 from repro.similarity.jaccard import average_consecutive_similarity
 from repro.similarity.lsh import LSHIndex
@@ -392,10 +394,10 @@ def _build_plan_cached(csr, config, cache, deadline) -> ExecutionPlan:
     plan = None
     with timed(times, "total"):
         key = cache.key_for(csr, config)
-        with timed(times, "cache_lookup"):
+        with span("cache_lookup"), timed(times, "cache_lookup"):
             decisions = cache.get(key)
         if decisions is not None:
-            with timed(times, "materialise"):
+            with span("materialise"), timed(times, "materialise"):
                 plan = decisions.materialise(csr, config)
         else:
             plan = _build_plan_uncached(csr, config, deadline=deadline)
@@ -423,10 +425,11 @@ def _build_plan_resilient(csr, config, cache, policy) -> ExecutionPlan:
         floor = policy.ladder and index == len(rungs) - 1
         deadline = None if floor else policy.new_deadline()
         try:
-            if index == 0 and cache is not None:
-                plan = _build_plan_cached(csr, rung_config, cache, deadline)
-            else:
-                plan = _build_plan_uncached(csr, rung_config, deadline=deadline)
+            with span("plan_rung", rung=label):
+                if index == 0 and cache is not None:
+                    plan = _build_plan_cached(csr, rung_config, cache, deadline)
+                else:
+                    plan = _build_plan_uncached(csr, rung_config, deadline=deadline)
         except (TimeoutExceeded, MemoryError) as exc:
             provenance.append(f"{label}: {type(exc).__name__}: {exc}")
             if index == len(rungs) - 1:
@@ -435,6 +438,10 @@ def _build_plan_resilient(csr, config, cache, policy) -> ExecutionPlan:
         provenance.append(f"{label}: ok")
         plan = replace(plan, provenance=tuple(provenance))
         if index > 0:
+            METRICS.counter(
+                "resilience.degradation_rung",
+                "plan builds settled below the full ladder rung",
+            ).inc()
             warnings.warn(
                 f"plan build degraded to rung '{label}' "
                 f"({'; '.join(provenance[:-1])})",
@@ -452,7 +459,9 @@ def _build_plan_uncached(
     times: dict[str, float] = {}
     lsh = config.lsh_index()
 
-    with timed(times, "total"):
+    with span("build_plan", rows=csr.n_rows, cols=csr.n_cols, nnz=csr.nnz), timed(
+        times, "total"
+    ):
         # ---- round 1 gate + reorder -----------------------------------
         gate1 = should_reorder_round1(
             csr,
@@ -463,10 +472,10 @@ def _build_plan_uncached(
         do_round1 = gate1.reorder if config.force_round1 is None else config.force_round1
         n_cand1 = 0
         if do_round1:
-            with timed(times, "lsh1"):
+            with span("lsh1"), timed(times, "lsh1"):
                 pairs, sims = lsh.candidate_pairs(csr, deadline=deadline)
             n_cand1 = int(pairs.shape[0])
-            with timed(times, "cluster1"):
+            with span("cluster1", pairs=n_cand1), timed(times, "cluster1"):
                 clustering = cluster_rows(
                     csr, pairs, sims,
                     threshold_size=config.threshold_size,
@@ -474,7 +483,7 @@ def _build_plan_uncached(
                     deadline=deadline,
                 )
             row_order = clustering.order
-            with timed(times, "permute1"):
+            with span("permute1"), timed(times, "permute1"):
                 reordered = permute_csr_rows(csr, row_order)
         else:
             row_order = np.arange(csr.n_rows, dtype=np.int64)
@@ -483,7 +492,7 @@ def _build_plan_uncached(
         # ---- tiling -----------------------------------------------------
         if deadline is not None:
             deadline.check("tile")
-        with timed(times, "tile"):
+        with span("tile"), timed(times, "tile"):
             tiled = tile_matrix(
                 reordered,
                 config.panel_height,
@@ -494,19 +503,19 @@ def _build_plan_uncached(
         # ---- round 2 gate + reorder of the remainder -------------------
         if deadline is not None:
             deadline.check("sim2")
-        with timed(times, "sim2"):
+        with span("sim2"), timed(times, "sim2"):
             gate2 = should_reorder_round2(
                 tiled.sparse_part, skip_above=config.avg_sim_skip
             )
         do_round2 = gate2.reorder if config.force_round2 is None else config.force_round2
         n_cand2 = 0
         if do_round2 and tiled.sparse_part.nnz:
-            with timed(times, "lsh2"):
+            with span("lsh2"), timed(times, "lsh2"):
                 pairs2, sims2 = lsh.candidate_pairs(
                     tiled.sparse_part, deadline=deadline
                 )
             n_cand2 = int(pairs2.shape[0])
-            with timed(times, "cluster2"):
+            with span("cluster2", pairs=n_cand2), timed(times, "cluster2"):
                 clustering2 = cluster_rows(
                     tiled.sparse_part,
                     pairs2,

@@ -28,6 +28,7 @@ from repro.errors import (
     TimeoutExceeded,
     WorkspaceExhausted,
 )
+from repro.observability.metrics import METRICS
 
 __all__ = ["FAULT_SITES", "FaultInjector", "fault_point", "active_injector"]
 
@@ -165,6 +166,9 @@ class FaultInjector:
             if fire:
                 self.fired[site] += 1
         if fire:
+            METRICS.counter(
+                "resilience.fault_fired", "injected faults that actually fired"
+            ).inc()
             raise FAULT_SITES[site]()
 
     # ------------------------------------------------------------------

@@ -28,12 +28,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.observability.metrics import METRICS
 from repro.resilience.deadline import Deadline
 
 __all__ = ["ResiliencePolicy", "LADDER_RUNGS", "ladder_rungs"]
 
 #: Ladder rung labels, strongest first.
 LADDER_RUNGS: tuple = ("full", "round1-only", "identity", "untiled-csr")
+
+# Canonical declaration of the resilience instruments (incremented at the
+# fault/retry/ladder sites) so a registry snapshot lists them even before
+# any failure has happened.
+METRICS.counter("resilience.fault_fired", "injected faults that actually fired")
+METRICS.counter("resilience.retry", "transient-IO retry attempts")
+METRICS.counter(
+    "resilience.degradation_rung", "plan builds settled below the full ladder rung"
+)
 
 
 def ladder_rungs(config) -> list:

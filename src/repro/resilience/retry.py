@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 
+from repro.observability.metrics import METRICS
 from repro.util.log import get_logger
 
 __all__ = ["retry_io", "NON_TRANSIENT_OS_ERRORS"]
@@ -76,6 +77,9 @@ def retry_io(
         except retry_on as exc:
             if attempt == attempts - 1:
                 raise
+            METRICS.counter(
+                "resilience.retry", "transient-IO retry attempts"
+            ).inc()
             delay = backoff_s * (2.0**attempt)
             _log.warning(
                 "retrying %s after %s: %s (attempt %d/%d, backoff %.3fs)",

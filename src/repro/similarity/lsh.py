@@ -31,6 +31,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ValidationError
+from repro.observability.metrics import METRICS
+from repro.observability.tracing import span
 from repro.similarity.minhash import EMPTY_ROW_SENTINEL, minhash_signatures
 from repro.sparse.csr import CSRMatrix
 from repro.util.rng import as_generator
@@ -248,18 +250,23 @@ class LSHIndex:
         signatures = minhash_signatures(
             csr, self.siglen, seed=self.seed, deadline=deadline
         )
-        pairs = lsh_candidate_pairs(
-            signatures,
-            self.bsize,
-            seed=self.seed + 1,
-            bucket_cap=self.bucket_cap,
-            deadline=deadline,
-        )
+        with span("lsh", rows=csr.n_rows, bsize=self.bsize):
+            pairs = lsh_candidate_pairs(
+                signatures,
+                self.bsize,
+                seed=self.seed + 1,
+                bucket_cap=self.bucket_cap,
+                deadline=deadline,
+            )
         if pairs.shape[0] == 0:
             return pairs, np.zeros(0, dtype=np.float64)
         from repro.similarity.measures import similarity_for_pairs
 
-        sims = similarity_for_pairs(csr, pairs, self.measure)
+        with span("score_pairs", pairs=int(pairs.shape[0])):
+            sims = similarity_for_pairs(csr, pairs, self.measure)
+        METRICS.counter(
+            "clustering.pairs_scored", "similarity evaluations during clustering"
+        ).inc(int(pairs.shape[0]))
         threshold = max(self.min_similarity, np.finfo(np.float64).tiny)
         keep = sims >= threshold
         return pairs[keep], sims[keep]

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.observability.tracing import span
 from repro.resilience.faults import fault_point
 from repro.sparse.csr import CSRMatrix
 from repro.util.rng import as_generator
@@ -67,40 +68,41 @@ def minhash_signatures(
     """
     siglen = check_positive("siglen", siglen)
     fault_point("clustering.minhash")
-    rng = as_generator(seed)
-    n_rows = csr.n_rows
-    out = np.empty((n_rows, siglen), dtype=np.int64)
-    if n_rows == 0:
+    with span("minhash", rows=csr.n_rows, nnz=csr.nnz, siglen=siglen):
+        rng = as_generator(seed)
+        n_rows = csr.n_rows
+        out = np.empty((n_rows, siglen), dtype=np.int64)
+        if n_rows == 0:
+            return out
+
+        p = MERSENNE_PRIME
+        # a must be non-zero mod p for the family to be universal.
+        a = rng.integers(1, int(p), size=siglen, dtype=np.int64)
+        b = rng.integers(0, int(p), size=siglen, dtype=np.int64)
+
+        cols = csr.colidx % p  # column universe folded into the field
+        lengths = csr.row_lengths()
+        empty = lengths == 0
+        nonempty = np.flatnonzero(lengths > 0)
+        if nonempty.size:
+            starts = np.ascontiguousarray(csr.rowptr[:-1][nonempty])
+            # Hash functions are evaluated in blocks of HASH_BLOCK: one
+            # broadcast multiply-add-mod produces a (block, nnz) matrix whose
+            # *rows* are contiguous, so the per-row segment minima reduce
+            # along contiguous memory.  ``a*c + b < 2**62``, so the blocked
+            # int64 arithmetic is exact — signatures are identical to the
+            # one-function-at-a-time evaluation.
+            block = max(1, min(HASH_BLOCK, siglen))
+            hashed = np.empty((block, csr.nnz), dtype=np.int64)
+            for k0 in range(0, siglen, block):
+                if deadline is not None:
+                    deadline.check("minhash")
+                k1 = min(k0 + block, siglen)
+                h = hashed[: k1 - k0]
+                np.multiply(a[k0:k1, None], cols[None, :], out=h)
+                h += b[k0:k1, None]
+                h %= p
+                out[nonempty, k0:k1] = np.minimum.reduceat(h, starts, axis=1).T
+        if empty.any():
+            out[empty, :] = EMPTY_ROW_SENTINEL
         return out
-
-    p = MERSENNE_PRIME
-    # a must be non-zero mod p for the family to be universal.
-    a = rng.integers(1, int(p), size=siglen, dtype=np.int64)
-    b = rng.integers(0, int(p), size=siglen, dtype=np.int64)
-
-    cols = csr.colidx % p  # column universe folded into the field
-    lengths = csr.row_lengths()
-    empty = lengths == 0
-    nonempty = np.flatnonzero(lengths > 0)
-    if nonempty.size:
-        starts = np.ascontiguousarray(csr.rowptr[:-1][nonempty])
-        # Hash functions are evaluated in blocks of HASH_BLOCK: one
-        # broadcast multiply-add-mod produces a (block, nnz) matrix whose
-        # *rows* are contiguous, so the per-row segment minima reduce
-        # along contiguous memory.  ``a*c + b < 2**62``, so the blocked
-        # int64 arithmetic is exact — signatures are identical to the
-        # one-function-at-a-time evaluation.
-        block = max(1, min(HASH_BLOCK, siglen))
-        hashed = np.empty((block, csr.nnz), dtype=np.int64)
-        for k0 in range(0, siglen, block):
-            if deadline is not None:
-                deadline.check("minhash")
-            k1 = min(k0 + block, siglen)
-            h = hashed[: k1 - k0]
-            np.multiply(a[k0:k1, None], cols[None, :], out=h)
-            h += b[k0:k1, None]
-            h %= p
-            out[nonempty, k0:k1] = np.minimum.reduceat(h, starts, axis=1).T
-    if empty.any():
-        out[empty, :] = EMPTY_ROW_SENTINEL
-    return out

@@ -33,20 +33,23 @@ class Timer:
 
     elapsed: float = 0.0
     laps: list = field(default_factory=list)
+    #: Injectable monotonic clock (never called at class scope, so tests
+    #: can substitute a fake); a plain function reference, not a method.
+    clock: object = time.perf_counter
     _t0: float | None = None
 
     def start(self) -> "Timer":
         """Begin a lap; raises if already running."""
         if self._t0 is not None:
             raise RuntimeError("Timer already running")
-        self._t0 = time.perf_counter()
+        self._t0 = self.clock()
         return self
 
     def stop(self) -> float:
         """End the current lap and return its duration."""
         if self._t0 is None:
             raise RuntimeError("Timer not running")
-        lap = time.perf_counter() - self._t0
+        lap = self.clock() - self._t0
         self._t0 = None
         self.elapsed += lap
         self.laps.append(lap)
@@ -66,13 +69,15 @@ class Timer:
 
 
 @contextmanager
-def timed(sink: dict, key: str):
+def timed(sink: dict, key: str, clock=time.perf_counter):
     """Time a block and store the elapsed seconds into ``sink[key]``.
 
     Accumulates when the key already exists, mirroring :class:`Timer`.
+    The ``clock`` is injectable (a monotonic no-arg callable) so tests
+    can drive it deterministically.
     """
-    t0 = time.perf_counter()
+    t0 = clock()
     try:
         yield
     finally:
-        sink[key] = sink.get(key, 0.0) + (time.perf_counter() - t0)
+        sink[key] = sink.get(key, 0.0) + (clock() - t0)

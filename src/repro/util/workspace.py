@@ -34,6 +34,7 @@ import threading
 import numpy as np
 
 from repro.errors import WorkspaceExhausted
+from repro.observability.metrics import METRICS
 from repro.resilience.faults import fault_point
 
 __all__ = ["Workspace", "WorkspacePool", "as_workspace"]
@@ -96,9 +97,11 @@ class WorkspacePool:
         self._lock = threading.Lock()
         self._free: dict[tuple[str, int], list[np.ndarray]] = {}
         self._held_bytes = 0
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        # Per-pool counters that also roll up into the process-global
+        # workspace.* instruments (see repro.observability.metrics).
+        self._hits = METRICS.counter("workspace.hit", "scratch leases served from a freelist").child()
+        self._misses = METRICS.counter("workspace.miss", "scratch leases that had to allocate").child()
+        self._evictions = METRICS.counter("workspace.evict", "returned blocks dropped over max_bytes").child()
 
     # ------------------------------------------------------------------
     def lease(self) -> "Workspace":
@@ -144,10 +147,10 @@ class WorkspacePool:
             if freelist:
                 block = freelist.pop()
                 self._held_bytes -= block.nbytes
-                self._hits += 1
+                self._hits.inc()
             else:
                 block = None
-                self._misses += 1
+                self._misses.inc()
         if block is None:
             block = np.empty(cls, dtype=dtype)
         return block[:n].reshape(shape)
@@ -162,7 +165,7 @@ class WorkspacePool:
         key = (block.dtype.str, block.size)
         with self._lock:
             if self._held_bytes + block.nbytes > self.max_bytes:
-                self._evictions += 1
+                self._evictions.inc()
                 return
             self._free.setdefault(key, []).append(block)
             self._held_bytes += block.nbytes
@@ -180,13 +183,28 @@ class WorkspacePool:
         with self._lock:
             return self._held_bytes
 
+    @property
+    def hits(self) -> int:
+        """Leases served from a freelist (per-pool view of ``workspace.hit``)."""
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        """Leases that had to allocate (per-pool view of ``workspace.miss``)."""
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        """Returned blocks dropped over ``max_bytes`` (per-pool view)."""
+        return self._evictions.value
+
     def stats(self) -> dict:
         """Counter snapshot: hits, misses, evictions, held_bytes."""
         with self._lock:
             return {
-                "hits": self._hits,
-                "misses": self._misses,
-                "evictions": self._evictions,
+                "hits": self._hits.value,
+                "misses": self._misses.value,
+                "evictions": self._evictions.value,
                 "held_bytes": self._held_bytes,
             }
 

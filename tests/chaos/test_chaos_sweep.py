@@ -18,7 +18,7 @@ from repro.experiments import ExperimentConfig, run_experiment
 from repro.resilience import FaultInjector, ResiliencePolicy, journal_status
 
 #: Fields legitimately differing between two runs of the same sweep.
-_NONDETERMINISTIC_FIELDS = ("preprocess_s",)
+_NONDETERMINISTIC_FIELDS = ("preprocess_s", "stage_seconds")
 
 #: The injection sites a model-based sweep actually traverses (kernel and
 #: io sites have their own chaos modules).

@@ -109,3 +109,44 @@ def chaos_rate() -> float:
 def chaos_seed() -> int:
     """Injector stream seed (env-overridable; pinned in CI)."""
     return int(os.environ.get("REPRO_CHAOS_SEED", "42"))
+
+
+# --- Observability helpers ---------------------------------------------------
+
+
+class FakeClock:
+    """Deterministic injectable clock for tracing/timing tests.
+
+    Every call returns the current reading and then auto-advances by
+    ``step`` — so a ``with span(...)`` block whose body reads the clock
+    zero times lasts exactly ``step`` seconds.  ``advance`` inserts extra
+    elapsed time between calls.  Golden-trace tests pair this with
+    ``Tracer(clock=FakeClock(), pid=1)`` to pin every timestamp.
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 1.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        reading = self.now
+        self.now += self.step
+        return reading
+
+    def advance(self, seconds: float) -> None:
+        """Insert ``seconds`` of extra elapsed time before the next read."""
+        self.now += seconds
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    """A fresh :class:`FakeClock` (start 0.0, step 1.0)."""
+    return FakeClock()
+
+
+def pytest_collection_modifyitems(config, items):
+    """Auto-mark the long-running suites so ``-m 'not slow'`` skips them."""
+    for item in items:
+        rel = os.fspath(item.path)
+        if f"tests{os.sep}chaos" in rel or f"tests{os.sep}integration" in rel:
+            item.add_marker(pytest.mark.slow)

@@ -1,0 +1,22 @@
+"""Fixture: injectable-clock counterparts that RD107 must not flag."""
+
+import time
+
+
+def measure(fn, clock=time.perf_counter):
+    """Referencing ``time.perf_counter`` as a default is the sanctioned
+    pattern; only *calling* it directly is flagged."""
+    t0 = clock()
+    fn()
+    return clock() - t0
+
+
+def deadline_left(t_end, clock=time.monotonic):
+    """Injected monotonic clock: no RD107."""
+    return t_end - clock()
+
+
+def wall_stamp():
+    """``time.time()`` is wall-clock, not a monotonic clock — RD104's
+    territory (out of scope here), never RD107's."""
+    return time.time()

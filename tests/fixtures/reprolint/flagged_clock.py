@@ -1,0 +1,20 @@
+"""Fixture: RD107 fires on every direct monotonic-clock call here."""
+
+import time
+
+
+def measure(fn):
+    """RD107: direct perf_counter calls bypass clock injection."""
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def deadline_left(t_end):
+    """RD107: direct monotonic call."""
+    return t_end - time.monotonic()
+
+
+def stamp_ns():
+    """RD107: the ``_ns`` variants count too."""
+    return time.perf_counter_ns(), time.monotonic_ns()

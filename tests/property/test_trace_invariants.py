@@ -1,0 +1,190 @@
+"""Hypothesis property tests for the observability invariants.
+
+Three families of invariants lock the layer down:
+
+* **Span trees** — for any sequence of (nested) span operations driven
+  by an arbitrary monotone clock, children lie strictly inside their
+  parents, siblings on one thread never overlap, and the Chrome export
+  carries exactly one complete event per closed span.
+* **Counters** — monotone under any interleaving of increments, with
+  every child increment visible in the parent aggregate.
+* **Histograms** — ``sum``/``count``/min/max match the observations, and
+  bucket counts always total ``count``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import FakeClock
+from repro.observability import Counter, Histogram, Tracer
+
+# --- strategies -------------------------------------------------------------
+
+#: A nesting program: "push" opens a child span, "pop" closes the
+#: innermost open span (ignored when only the root is open).
+nesting_ops = st.lists(
+    st.sampled_from(["push", "pop"]), min_size=0, max_size=40
+)
+
+clock_steps = st.floats(min_value=1e-6, max_value=10.0, allow_nan=False)
+
+
+def run_program(ops, step=1.0):
+    """Execute a push/pop program under one root span; return the tracer."""
+    tracer = Tracer(clock=FakeClock(step=step), pid=1)
+    stack = []
+    root = tracer.span("root")
+    root.__enter__()
+    stack.append(root)
+    counter = 0
+    for op in ops:
+        if op == "push":
+            counter += 1
+            child = tracer.span(f"s{counter}")
+            child.__enter__()
+            stack.append(child)
+        elif len(stack) > 1:
+            stack.pop().__exit__(None, None, None)
+    while stack:
+        stack.pop().__exit__(None, None, None)
+    return tracer
+
+
+def walk(span_dict, depth=0):
+    yield span_dict, depth
+    for child in span_dict.get("children", ()):
+        yield from walk(child, depth + 1)
+
+
+class TestSpanTreeInvariants:
+    @given(nesting_ops, clock_steps)
+    @settings(max_examples=120)
+    def test_children_nest_strictly_inside_parents(self, ops, step):
+        tracer = run_program(ops, step)
+        (root,) = tracer.to_dicts()
+        for node, _ in walk(root):
+            start = node["start_s"]
+            end = start + node["duration_s"]
+            assert node["duration_s"] > 0  # every clock read advances
+            for child in node.get("children", ()):
+                child_end = child["start_s"] + child["duration_s"]
+                assert start < child["start_s"]
+                assert child_end < end
+
+    @given(nesting_ops, clock_steps)
+    @settings(max_examples=120)
+    def test_siblings_on_one_thread_never_overlap(self, ops, step):
+        tracer = run_program(ops, step)
+        (root,) = tracer.to_dicts()
+        for node, _ in walk(root):
+            children = node.get("children", ())
+            for earlier, later in zip(children, children[1:]):
+                earlier_end = earlier["start_s"] + earlier["duration_s"]
+                assert earlier_end < later["start_s"]
+
+    @given(nesting_ops)
+    @settings(max_examples=120)
+    def test_chrome_export_has_one_event_per_span(self, ops):
+        tracer = run_program(ops)
+        events = tracer.chrome_trace()["traceEvents"]
+        (root,) = tracer.to_dicts()
+        spans = list(walk(root))
+        assert len(events) == len(spans)
+        assert sorted(e["name"] for e in events) == sorted(
+            node["name"] for node, _ in spans
+        )
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0
+            assert event["dur"] > 0
+
+    @given(nesting_ops, clock_steps)
+    @settings(max_examples=60)
+    def test_to_dicts_is_json_clean(self, ops, step):
+        import json
+
+        tracer = run_program(ops, step)
+        json.dumps(tracer.to_dicts())
+        json.dumps(tracer.chrome_trace())
+
+
+class TestCounterInvariants:
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=50))
+    @settings(max_examples=120)
+    def test_counter_value_is_the_sum_of_increments(self, increments):
+        c = Counter("c")
+        seen = 0
+        for n in increments:
+            c.inc(n)
+            assert c.value >= seen  # monotone at every step
+            seen = c.value
+        assert c.value == sum(increments)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 100)), max_size=60
+        )
+    )
+    @settings(max_examples=120)
+    def test_children_roll_up_exactly(self, ops):
+        parent = Counter("p")
+        children = [parent.child() for _ in range(3)]
+        direct = 0
+        for child_index, n in ops:
+            children[child_index].inc(n)
+        for child in children:
+            direct += child.value
+        assert parent.value == direct
+        assert [c.value for c in children] == [
+            sum(n for i, n in ops if i == k) for k in range(3)
+        ]
+
+
+class TestHistogramInvariants:
+    @given(
+        st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            ),
+            max_size=80,
+        ),
+        st.lists(
+            st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+            min_size=1, max_size=8, unique=True,
+        ),
+    )
+    @settings(max_examples=120)
+    def test_sum_count_minmax_and_bucket_totals(self, values, bounds):
+        h = Histogram("h", bounds=tuple(bounds))
+        for v in values:
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == len(values)
+        assert snap["sum"] == sum(float(v) for v in values)
+        if values:
+            assert snap["min"] == min(values)
+            assert snap["max"] == max(values)
+        else:
+            assert snap["min"] is None and snap["max"] is None
+        assert sum(snap["buckets"].values()) == snap["count"]
+
+    @given(
+        st.floats(
+            min_value=-1e6, max_value=1e6,
+            allow_nan=False, allow_infinity=False,
+        )
+    )
+    @settings(max_examples=120)
+    def test_observation_lands_in_the_right_bucket(self, value):
+        bounds = (-10.0, 0.0, 10.0)
+        h = Histogram("h", bounds=bounds)
+        h.observe(value)
+        buckets = h.snapshot()["buckets"]
+        expected = "inf"
+        for bound in bounds:
+            if value <= bound:
+                expected = str(bound)
+                break
+        assert buckets[expected] == 1
+        assert sum(buckets.values()) == 1

@@ -308,6 +308,8 @@ class TestParallelRunner:
             da, db = a.as_dict(), b.as_dict()
             da.pop("preprocess_s")
             db.pop("preprocess_s")
+            da.pop("stage_seconds")
+            db.pop("stage_seconds")
             assert da == db
 
     def test_invalid_jobs(self):

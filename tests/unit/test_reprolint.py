@@ -58,6 +58,7 @@ class TestDeterminismRules:
             "RD102", "RD102",
             "RD103", "RD103", "RD103",
             "RD104", "RD104",
+            "RD107",  # the perf_counter read doubles as a direct-call site
         ]
 
     def test_clean_fixture_is_silent(self):
@@ -81,6 +82,35 @@ class TestDeterminismRules:
             "flagged_determinism.py", module_path="repro/util/timing.py"
         )
         assert "RD104" not in codes_of(findings)
+
+
+class TestInjectableClockRule:
+    #: In RD107's library-wide scope but outside RD104's kernel scopes,
+    #: so the clock fixtures exercise RD107 alone.
+    CLOCK_SCOPE = "repro/util/fixture.py"
+
+    def test_flagged_fixture_fires_rd107(self):
+        findings = lint_fixture("flagged_clock.py", module_path=self.CLOCK_SCOPE)
+        assert codes_of(findings) == ["RD107"] * 5
+
+    def test_clean_fixture_is_silent(self):
+        assert lint_fixture("clean_clock.py", module_path=self.CLOCK_SCOPE) == []
+
+    def test_observability_layer_is_exempt(self):
+        findings = lint_fixture(
+            "flagged_clock.py", module_path="repro/observability/tracing.py"
+        )
+        assert findings == []
+
+    def test_inactive_outside_library_code(self):
+        findings = lint_fixture(
+            "flagged_clock.py", module_path="scripts/tool.py"
+        )
+        assert findings == []
+
+    def test_message_points_at_clock_injection(self):
+        findings = lint_fixture("flagged_clock.py", module_path=self.CLOCK_SCOPE)
+        assert all("clock" in f.message for f in findings)
 
 
 class TestPerformanceRules:
