@@ -26,6 +26,11 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline-dir", default=".")
     parser.add_argument("--out-dir", default=None)
     parser.add_argument("--update-baseline", action="store_true")
+    parser.add_argument(
+        "--backend",
+        default="numpy",
+        help="compiled kernel backend dimension for the kernel cells",
+    )
     args = parser.parse_args(argv)
     code, text = run_gate(
         args.suite,
@@ -34,6 +39,7 @@ def main(argv=None) -> int:
         baseline_dir=args.baseline_dir,
         out_dir=args.out_dir,
         update_baseline=args.update_baseline,
+        backend=args.backend,
     )
     print(text)
     return code

@@ -56,6 +56,10 @@ DEFAULT_SCOPES: dict[str, tuple[str, ...]] = {
     "workspace-scratch-paths": ("repro/kernels",),
     # RD203: packages whose public entry points must validate sparse args.
     "entrypoint-paths": ("repro/sparse", "repro/aspt", "repro/reorder"),
+    # RD204: compiled-backend code, where allocations must name their
+    # dtype (the kernels are dtype-polymorphic; a float64 default
+    # silently upcasts the float32 cells of the differential matrix).
+    "backend-paths": ("repro/kernels/backends",),
     # RD106/RD303 apply to library code only...
     "library-paths": ("repro",),
     # RD106 exemption: the resilience layer itself is where broad catches

@@ -16,6 +16,7 @@ from repro.analysis.core import FileContext, Rule, register
 
 __all__ = [
     "FloatEqualityRule",
+    "ImplicitUpcastAllocRule",
     "IndexNarrowingRule",
     "UncheckedEntryPointRule",
 ]
@@ -120,6 +121,57 @@ class IndexNarrowingRule(Rule):
                         "silently truncate index values",
                     )
                     break
+
+
+#: Allocation constructors whose dtype silently defaults to float64.
+_DEFAULT_FLOAT64_ALLOCS = {"empty", "zeros", "ones", "full"}
+
+
+@register
+class ImplicitUpcastAllocRule(Rule):
+    """RD204: dtype-less array allocation in compiled-backend code.
+
+    ``np.empty``/``zeros``/``ones``/``full`` default to float64.  Backend
+    kernels are dtype-polymorphic (the differential matrix runs them at
+    float32 *and* float64), so a dtype-less allocation silently upcasts
+    every float32 cell — the results then differ from the numpy reference
+    at exactly the ULP the tests pin.  The fix is always to name the
+    dtype: ``dtype=X.dtype`` to follow the operand, or ``np.float64``
+    when widening is the contract (as for SpMM outputs).
+    """
+
+    code = "RD204"
+    name = "implicit-upcast-alloc"
+    summary = (
+        "array allocation without an explicit dtype defaults to float64 "
+        "and silently upcasts float32 backend kernels"
+    )
+    scope_key = "backend-paths"
+
+    def visit(self, ctx: FileContext):
+        """Flag ``np.empty/zeros/ones/full(...)`` calls without ``dtype``."""
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _DEFAULT_FLOAT64_ALLOCS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in ("np", "numpy")
+            ):
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            # np.full's second positional is the fill value, never a
+            # dtype; for the others a dtype may ride as the second
+            # positional argument.
+            if node.func.attr != "full" and len(node.args) >= 2:
+                continue
+            yield ctx.finding(
+                node, self.code,
+                f"np.{node.func.attr}(...) without dtype= allocates float64; "
+                "backend kernels must name the dtype explicitly "
+                "(dtype=X.dtype, or np.float64 when widening is intended)",
+            )
 
 
 @register

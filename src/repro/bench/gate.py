@@ -94,7 +94,7 @@ def _metric(fn, repeats: int) -> dict:
 
 # ----------------------------------------------------------------------
 # suites
-def _suite_kernels(quick: bool) -> dict:
+def _suite_kernels(quick: bool, backend: str = "numpy") -> dict:
     from repro.aspt import tile_matrix
     from repro.datasets import hidden_clusters
     from repro.kernels import KernelSession, spmm, spmm_tiled
@@ -141,22 +141,60 @@ def _suite_kernels(quick: bool) -> dict:
             3,
         ),
     }
+    workload = {
+        "matrix": "hidden_clusters(200, 8, 4096, 20, noise=0.1, seed=0)",
+        "n_rows": matrix.n_rows,
+        "nnz": matrix.nnz,
+        "k": k,
+        "panel": "tile_matrix(matrix, 16, 2)",
+        "backend": backend,
+    }
+    # Backend dimension: with ``--backend <name>`` the suite additionally
+    # measures the compiled backend's one-shot and steady-state cells and
+    # the within-run cross-backend speedups.  The numpy cells above keep
+    # their names, so a backend run's document still gates every numpy
+    # cell of the committed baseline (adding cells never regresses the
+    # gate retroactively — `compare_results` skips one-sided metrics).
+    # If the requested backend degrades on this machine, the cells are
+    # *omitted* rather than silently measuring numpy twice.
+    if backend != "numpy":
+        from repro.kernels.backends import resolve_backend
+
+        resolved, provenance = resolve_backend(backend, warn=False)
+        if resolved.name != backend:
+            workload["backend_degraded"] = list(provenance)
+        else:
+            backend_session = KernelSession(matrix, backend=backend)
+            backend_session.run(X)  # warm scratch + compiled artifact
+            metrics[f"spmm_oneshot@{backend}"] = _metric(
+                lambda: spmm(matrix, X, backend=backend), repeats
+            )
+            metrics[f"spmm_session@{backend}"] = _metric(
+                lambda: backend_session.run(X), repeats
+            )
+            speedups[f"spmm_oneshot_{backend}_vs_numpy"] = round(
+                metrics["spmm_oneshot"]["median_ms"]
+                / metrics[f"spmm_oneshot@{backend}"]["median_ms"],
+                3,
+            )
+            speedups[f"spmm_session_{backend}_vs_numpy"] = round(
+                metrics["spmm_session"]["median_ms"]
+                / metrics[f"spmm_session@{backend}"]["median_ms"],
+                3,
+            )
     return {
         "name": "kernels",
         "quick": quick,
-        "workload": {
-            "matrix": "hidden_clusters(200, 8, 4096, 20, noise=0.1, seed=0)",
-            "n_rows": matrix.n_rows,
-            "nnz": matrix.nnz,
-            "k": k,
-            "panel": "tile_matrix(matrix, 16, 2)",
-        },
+        "workload": workload,
         "metrics": metrics,
         "speedups": speedups,
     }
 
 
-def _suite_preproc(quick: bool) -> dict:
+def _suite_preproc(quick: bool, backend: str = "numpy") -> dict:
+    # ``backend`` is accepted for a uniform runner signature but ignored:
+    # preprocessing is pure pipeline work, no kernel backend is involved.
+    del backend
     from repro.clustering import cluster_rows
     from repro.datasets import bipartite_ratings
     from repro.reorder import ReorderConfig, build_plan
@@ -224,19 +262,24 @@ def _suite_preproc(quick: bool) -> dict:
     }
 
 
-#: Registered suites: name -> runner(quick) -> result document.
+#: Registered suites: name -> runner(quick, backend) -> result document.
 SUITES = {"kernels": _suite_kernels, "preproc": _suite_preproc}
 
 
-def run_suite(name: str, *, quick: bool = False) -> dict:
-    """Run one registered suite and return its result document."""
+def run_suite(name: str, *, quick: bool = False, backend: str = "numpy") -> dict:
+    """Run one registered suite and return its result document.
+
+    ``backend`` selects the compiled kernel backend dimension
+    (:mod:`repro.kernels.backends`); suites without kernel cells ignore
+    it.
+    """
     try:
         suite = SUITES[name]
     except KeyError:
         raise ValueError(
             f"unknown bench suite {name!r}; expected one of {sorted(SUITES)}"
         ) from None
-    return suite(quick)
+    return suite(quick, backend)
 
 
 # ----------------------------------------------------------------------
@@ -316,6 +359,7 @@ def run_gate(
     baseline_dir=".",
     out_dir=None,
     update_baseline: bool = False,
+    backend: str = "numpy",
 ) -> tuple[int, str]:
     """Run suites, write fresh ``BENCH_*.json`` files, gate on baselines.
 
@@ -335,6 +379,9 @@ def run_gate(
         pass a directory to keep artifacts, e.g. for CI upload).
     update_baseline:
         Overwrite the baselines with the fresh numbers instead of gating.
+    backend:
+        Compiled kernel backend dimension, threaded to every suite (see
+        :func:`run_suite`).
 
     Returns
     -------
@@ -346,7 +393,7 @@ def run_gate(
     chunks = []
     failed = False
     for name in names:
-        result = run_suite(name, quick=quick)
+        result = run_suite(name, quick=quick, backend=backend)
         target = None
         if update_baseline:
             target = baseline_path(name, out_dir or baseline_dir)

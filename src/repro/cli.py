@@ -113,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
         "degrade down the ladder (full -> round1-only -> identity -> "
         "untiled-csr) instead of failing",
     )
+    r.add_argument(
+        "--backend", default="numpy", metavar="NAME",
+        help="compiled kernel backend for the sweep's multiplies "
+        "(see `repro backends`); unavailable backends degrade to numpy",
+    )
 
     dr = sub.add_parser(
         "doctor", help="inspect (and optionally heal) sweep/cache health"
@@ -235,6 +240,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--update-baseline", action="store_true",
         help="overwrite the baselines with the fresh numbers instead of gating",
     )
+    be.add_argument(
+        "--backend", default="numpy", metavar="NAME",
+        help="compiled kernel backend dimension for the kernel cells "
+        "(adds <metric>@<backend> cells and cross-backend speedups)",
+    )
+
+    sub.add_parser(
+        "backends", help="list compiled kernel backends and their availability"
+    )
 
     tr = sub.add_parser(
         "trace", help="trace one plan build + kernel run (Chrome trace_event JSON)"
@@ -273,11 +287,31 @@ def _cmd_bench(args) -> int:
             baseline_dir=args.baseline_dir,
             out_dir=args.out_dir,
             update_baseline=args.update_baseline,
+            backend=args.backend,
         )
         print(text)
         return code
     for name in args.suite or sorted(SUITES):
-        print(json.dumps(run_suite(name, quick=args.quick), indent=1))
+        print(
+            json.dumps(
+                run_suite(name, quick=args.quick, backend=args.backend), indent=1
+            )
+        )
+    return 0
+
+
+@cli_handler("backends")
+def _cmd_backends(_args) -> int:
+    from repro.kernels.backends import backend_names, get_backend
+
+    print(f"{'backend':<12}{'available':<12}note")
+    for name in backend_names():
+        backend = get_backend(name)
+        if backend.available():
+            note = "reference (degradation target)" if name == "numpy" else ""
+            print(f"{name:<12}{'yes':<12}{note}")
+        else:
+            print(f"{name:<12}{'no':<12}{backend.unavailable_reason()}")
     return 0
 
 
@@ -300,20 +334,30 @@ def _cmd_corpus(args) -> int:
 @cli_handler("run")
 def _cmd_run(args) -> int:
     from repro.experiments import ExperimentConfig, run_experiment, save_records
+    from repro.experiments.config import PANEL_HEIGHTS
     from repro.reorder import ReorderConfig
     from repro.resilience import ResiliencePolicy
     from repro.util.log import enable_console_logging
 
     enable_console_logging()
+    if args.panel_height is None and args.backend == "numpy":
+        reorder = None  # ExperimentConfig picks the scale-matched default
+    else:
+        # A backend request alone must not lose the scale-matched panel
+        # height, so fall back to the same table ExperimentConfig uses.
+        reorder = ReorderConfig(
+            panel_height=(
+                args.panel_height
+                if args.panel_height is not None
+                else PANEL_HEIGHTS.get(args.scale, 64)
+            ),
+            backend=args.backend,
+        )
     config = ExperimentConfig(
         ks=tuple(args.k),
         scale=args.scale,
         repeats=args.repeats,
-        reorder=(
-            ReorderConfig(panel_height=args.panel_height)
-            if args.panel_height is not None
-            else None  # ExperimentConfig picks the scale-matched default
-        ),
+        reorder=reorder,
         verify=args.verify,
         plan_cache_dir=args.plan_cache_dir,
         resilience=(

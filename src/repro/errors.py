@@ -20,6 +20,7 @@ __all__ = [
     "TimeoutExceeded",
     "CorruptStoreError",
     "WorkspaceExhausted",
+    "BackendUnavailable",
     "DegradedExecution",
     "EXIT_OK",
     "EXIT_FAILURE",
@@ -106,6 +107,18 @@ class WorkspaceExhausted(ReproError, MemoryError):
 
     :class:`repro.kernels.KernelSession` catches this and falls back to
     direct allocation (bitwise-identical results, no pooling benefit).
+    """
+
+
+class BackendUnavailable(ReproError, RuntimeError):
+    """A compiled kernel backend could not be imported or compiled.
+
+    Raised by :func:`repro.kernels.backends.resolve_backend` in strict
+    mode and by backend ``compile`` implementations (including the
+    ``backend.compile`` injected fault).  Degradable callers — plan
+    builds, :class:`repro.kernels.KernelSession` — catch it and fall back
+    to the always-available ``numpy`` backend, recording the step in the
+    plan's ``backend_provenance``.
     """
 
 

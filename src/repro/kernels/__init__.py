@@ -18,6 +18,14 @@ instead of re-allocated per call, and
 execution plan) for the repeated-multiply serving case — bitwise-identical
 results at a fraction of the steady-state cost.
 
+Every vectorised kernel (and :class:`~repro.kernels.KernelSession`)
+additionally accepts ``backend=``, selecting a compiled kernel backend
+from :mod:`repro.kernels.backends` — ``numpy`` (the reference, always),
+``codegen`` (``exec``-compiled specialized source, always), ``numba``
+(machine-code JIT when importable, graceful degradation otherwise).  All
+backends are held to the reference's bit pattern (1 ULP for true JIT) by
+the cross-backend differential test matrix.
+
 These kernels compute *results*; the corresponding *performance* estimates
 come from :mod:`repro.gpu`, which models the same access patterns on a
 P100-like memory hierarchy.
@@ -28,11 +36,24 @@ from repro.kernels.spmv import spmv, spmv_rowwise_reference
 from repro.kernels.sddmm import sddmm, sddmm_rowwise_reference
 from repro.kernels.aspt_spmm import spmm_tiled
 from repro.kernels.aspt_sddmm import sddmm_tiled
+from repro.kernels.state import DEFAULT_CHUNK_K, CsrState
 from repro.kernels.session import KernelSession
 from repro.kernels.validate import assert_spmm_correct, assert_sddmm_correct
+from repro.kernels.backends import (
+    CompiledKernel,
+    KernelBackend,
+    SpecializationSpec,
+    available_backends,
+    backend_names,
+    get_backend,
+    resolve_backend,
+    specialize,
+)
 
 __all__ = [
     "KernelSession",
+    "CsrState",
+    "DEFAULT_CHUNK_K",
     "spmm",
     "spmm_blocked",
     "spmm_rowwise_reference",
@@ -44,4 +65,12 @@ __all__ = [
     "sddmm_tiled",
     "assert_spmm_correct",
     "assert_sddmm_correct",
+    "SpecializationSpec",
+    "CompiledKernel",
+    "KernelBackend",
+    "specialize",
+    "backend_names",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
 ]

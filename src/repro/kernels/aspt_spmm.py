@@ -25,7 +25,7 @@ from repro.aspt.tiles import TiledMatrix
 from repro.contracts import checked, invokes
 from repro.kernels.spmm import spmm
 from repro.sparse.csr import CSRMatrix
-from repro.util.validation import check_dense
+from repro.util.validation import check_dense, check_out
 from repro.util.workspace import Workspace, as_workspace
 
 __all__ = ["spmm_tiled", "panel_plan"]
@@ -108,6 +108,7 @@ def spmm_tiled(
     out: np.ndarray | None = None,
     *,
     workspace=None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Two-phase ASpT SpMM: dense tiles through panel buffers, remainder
     row-wise.
@@ -121,22 +122,35 @@ def spmm_tiled(
         preserved (no up-cast copy of a large ``K``-wide operand).
     out:
         Optional preallocated ``(n_rows, K)`` float64 output
-        (overwritten, not accumulated).
+        (overwritten, not accumulated).  Must be writable in place
+        (float64, C-contiguous) — see
+        :func:`~repro.util.validation.check_out`.
     workspace:
         Optional pool/workspace for the panel buffers, products scratch
         and the remainder kernel's scratch (bitwise-identical results).
+    backend:
+        Optional compiled-backend name (:mod:`repro.kernels.backends`):
+        the sparse remainder then runs the backend's compiled SpMM (the
+        dense phase is the shared panel-gather path on every backend).
+        Degrades back to this reference path when unavailable.
 
     Returns
     -------
     numpy.ndarray
         ``Y = tiled.original @ X`` of shape ``(n_rows, K)``.
     """
+    if backend is not None and backend != "numpy":
+        from repro.kernels.backends import resolve_backend
+
+        resolved, _ = resolve_backend(backend)
+        if resolved.name != "numpy":
+            return resolved.spmm_tiled(tiled, X, out, workspace=workspace)
     X = check_dense("X", X, rows=tiled.original.n_cols, dtype=None)
     K = X.shape[1]
     if out is None:
         Y = np.zeros((tiled.original.n_rows, K), dtype=np.float64)
     else:
-        Y = check_dense("out", out, rows=tiled.original.n_rows, cols=K)
+        Y = check_out("out", out, rows=tiled.original.n_rows, cols=K)
         Y[:] = 0.0
     ws, owned = as_workspace(workspace)
     try:

@@ -40,7 +40,14 @@ def sddmm_rowwise_reference(csr: CSRMatrix, X: np.ndarray, Y: np.ndarray) -> CSR
 
 
 @checked(validates("csr"))
-def sddmm(csr: CSRMatrix, X: np.ndarray, Y: np.ndarray, *, workspace=None) -> CSRMatrix:
+def sddmm(
+    csr: CSRMatrix,
+    X: np.ndarray,
+    Y: np.ndarray,
+    *,
+    workspace=None,
+    backend: str | None = None,
+) -> CSRMatrix:
     """Vectorised SDDMM.
 
     Parameters
@@ -58,6 +65,9 @@ def sddmm(csr: CSRMatrix, X: np.ndarray, Y: np.ndarray, *, workspace=None) -> CS
         gather buffers are leased from it instead of allocated.  The dot
         products themselves are computed by the same ``einsum`` in the
         same dtype, so results are bitwise identical either way.
+    backend:
+        Optional compiled-backend name (:mod:`repro.kernels.backends`);
+        degrades back to this reference path when unavailable.
 
     Returns
     -------
@@ -65,6 +75,12 @@ def sddmm(csr: CSRMatrix, X: np.ndarray, Y: np.ndarray, *, workspace=None) -> CS
         Same pattern as ``csr`` with values
         ``(Y[i] . X[c]) * csr.value`` per stored entry.
     """
+    if backend is not None and backend != "numpy":
+        from repro.kernels.backends import resolve_backend
+
+        resolved, _ = resolve_backend(backend)
+        if resolved.name != "numpy":
+            return resolved.sddmm(csr, X, Y, workspace=workspace)
     X = check_dense("X", X, rows=csr.n_cols, dtype=None)
     Y = check_dense("Y", Y, rows=csr.n_rows, cols=X.shape[1], dtype=None)
     if csr.nnz == 0:

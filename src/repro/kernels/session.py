@@ -10,23 +10,37 @@ column remaps, scratch buffers, the output array.  A
   column ids) is computed once at construction;
 * scratch comes from a private :class:`~repro.util.workspace.WorkspacePool`,
   so after the first call the steady state allocates nothing;
-* the multiply itself runs *transposed and K-chunked*: the dense operand
-  is staged as ``X.T`` (one contiguous ``K x N`` copy) and processed in
-  chunks of ``chunk_k`` columns, so the gather, scale and segment-sum all
-  stream along the contiguous axis and the active chunk stays cache
-  resident.  This is the CPU analogue of the GPU kernel's
-  coalesced-access + shared-memory staging, and measures ~3x faster than
-  the one-shot :func:`~repro.kernels.spmm` at K=512 on the bench-gate
-  workload.
+* the row-wise multiplies run through a **compiled kernel backend**
+  (:mod:`repro.kernels.backends`): at construction the session resolves
+  the requested backend (its own ``backend=`` argument, or the plan's
+  ``backend`` field for plan targets) and compiles one artifact per
+  pinned :class:`~repro.kernels.state.CsrState`, specialized to that
+  matrix's structure.  Compiled artifacts are cached process-wide, so a
+  warm session constructed against an already-seen fingerprint skips
+  compilation entirely;
+* the reference strategy itself (the ``numpy`` backend) multiplies
+  *transposed and K-chunked*: the dense operand is staged as ``X.T``
+  (one contiguous ``K x N`` copy) and processed in chunks of ``chunk_k``
+  columns, so the gather, scale and segment-sum all stream along the
+  contiguous axis and the active chunk stays cache resident.  This is
+  the CPU analogue of the GPU kernel's coalesced-access + shared-memory
+  staging, and measures ~3x faster than the one-shot
+  :func:`~repro.kernels.spmm` at K=512 on the bench-gate workload.
 
 Despite the different loop structure, results are **bitwise identical**
-to the one-shot kernels: per output element the same products are
-accumulated left-to-right in the same order (``reduceat`` along the
-contiguous axis of the transposed chunk performs exactly the adds of
-``reduceat`` along axis 0 of the untransposed layout), and float32
-operands are widened by an exact cast before the same float64 multiply.
-The equivalence is asserted in the oracle tests and, for plans, by
-:meth:`repro.reorder.ExecutionPlan.validate`.
+to the one-shot kernels (``numpy``/``codegen`` backends) or within 1 ULP
+(``numba``): per output element the same products are accumulated
+left-to-right in the same order, and float32 operands are widened by an
+exact cast before the same float64 multiply.  The equivalence is
+asserted in the oracle tests, the cross-backend differential matrix and,
+for plans, by :meth:`repro.reorder.ExecutionPlan.validate`.
+
+Degradation is never fatal: if the requested backend is unavailable or
+its compile fails (including the injected ``backend.compile`` chaos
+fault), the session falls back to the uncompiled numpy reference path —
+``kernels.backend_fallback`` counts it, one
+:class:`~repro.errors.DegradedExecution` warning fires, and
+:attr:`KernelSession.backend_provenance` records the step.
 
 A session accepts three target types:
 
@@ -51,91 +65,24 @@ import warnings
 import numpy as np
 
 from repro.aspt.tiles import TiledMatrix
-from repro.errors import DegradedExecution, WorkspaceExhausted
+from repro.errors import BackendUnavailable, DegradedExecution, WorkspaceExhausted
 from repro.kernels.aspt_spmm import _panel_dense_spmm, panel_plan
+from repro.kernels.state import DEFAULT_CHUNK_K, CsrState
 from repro.observability.metrics import METRICS
 from repro.observability.tracing import span
 from repro.resilience.faults import fault_point
 from repro.sparse.csr import CSRMatrix
 from repro.util.log import get_logger
-from repro.util.validation import check_dense
-from repro.util.workspace import Workspace, WorkspacePool
+from repro.util.validation import check_dense, check_out
+from repro.util.workspace import DirectWorkspace, Workspace, WorkspacePool
 
 __all__ = ["KernelSession"]
 
 _log = get_logger("kernels")
 
-
-class _DirectWorkspace:
-    """Workspace-shaped fallback that allocates directly (no pooling).
-
-    Used when the pool cannot serve a lease
-    (:class:`repro.errors.WorkspaceExhausted` — a real ``max_lease_bytes``
-    cap or an injected fault): the multiply reruns against plain
-    ``np.empty`` scratch, trading the zero-allocation steady state for
-    completion.  Results are bitwise identical either way — pooled and
-    direct paths run the same operations on same-shaped buffers.
-    """
-
-    __slots__ = ()
-
-    def scratch(self, shape, dtype=np.float64) -> np.ndarray:
-        return np.empty(shape, dtype=dtype)
-
-    def release(self) -> None:
-        return None
-
-    def __enter__(self) -> "_DirectWorkspace":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        return None
-
-#: Default K-chunk width.  64 float64 columns x a few tens of thousands of
-#: non-zeros keeps the active gather chunk inside the last-level cache on
-#: typical hardware while amortising the per-chunk Python overhead.
-DEFAULT_CHUNK_K = 64
-
-
-class _CsrSteadyState:
-    """Pinned per-matrix state for the transposed K-chunked CSR multiply."""
-
-    __slots__ = ("csr", "colidx", "values", "starts", "nonempty", "empty", "any_empty")
-
-    def __init__(self, csr: CSRMatrix) -> None:
-        self.csr = csr
-        self.colidx = np.ascontiguousarray(csr.colidx)
-        self.values = np.ascontiguousarray(csr.values)[None, :]
-        lengths = csr.row_lengths()
-        self.empty = lengths == 0
-        self.any_empty = bool(self.empty.any())
-        self.nonempty = np.flatnonzero(lengths > 0)
-        self.starts = np.ascontiguousarray(csr.rowptr[:-1][self.nonempty])
-
-    def multiply(self, X: np.ndarray, out: np.ndarray, ws: Workspace, chunk_k: int) -> None:
-        """``out = csr @ X``, bitwise identical to :func:`repro.kernels.spmm`."""
-        csr = self.csr
-        K = X.shape[1]
-        if csr.nnz == 0 or K == 0:
-            out[:] = 0.0
-            return
-        # Stage the operand transposed: one exact-cast copy, after which
-        # every access pattern below streams along contiguous memory.
-        XT = ws.scratch((K, csr.n_cols))
-        np.copyto(XT, X.T)
-        chunk = max(1, min(chunk_k, K))
-        gathered = ws.scratch((chunk, csr.nnz))
-        sums = ws.scratch((chunk, self.nonempty.size))
-        for k0 in range(0, K, chunk):
-            k1 = min(k0 + chunk, K)
-            g = gathered[: k1 - k0]
-            s = sums[: k1 - k0]
-            np.take(XT[k0:k1], self.colidx, axis=1, out=g)
-            np.multiply(self.values, g, out=g)
-            np.add.reduceat(g, self.starts, axis=1, out=s)
-            out[self.nonempty, k0:k1] = s.T
-        if self.any_empty:
-            out[self.empty] = 0.0
+# Backwards-compatible aliases: both classes used to be defined here.
+_DirectWorkspace = DirectWorkspace
+_CsrSteadyState = CsrState
 
 
 class KernelSession:
@@ -148,10 +95,19 @@ class KernelSession:
         :class:`~repro.aspt.TiledMatrix` or a
         :class:`~repro.reorder.ExecutionPlan`.
     chunk_k:
-        Width of the K-chunks the multiply streams through (default 64).
+        Width of the K-chunks the multiply streams through (default 64);
+        baked into the compiled artifacts' specialization key.
     pool:
         Workspace pool to lease scratch from; by default the session owns
         a private pool sized to its own working set.
+    backend:
+        Compiled kernel backend name (``"numpy"``, ``"codegen"``,
+        ``"numba"``).  ``None`` means "no preference": plan targets use
+        the plan's ``backend`` field, everything else the ``numpy``
+        reference.  Unknown names raise
+        :class:`~repro.errors.ConfigError`; known-but-unavailable
+        backends (and compile failures) degrade to numpy with a
+        :class:`~repro.errors.DegradedExecution` warning.
 
     Examples
     --------
@@ -171,6 +127,7 @@ class KernelSession:
         *,
         chunk_k: int = DEFAULT_CHUNK_K,
         pool: WorkspacePool | None = None,
+        backend: str | None = None,
     ) -> None:
         if chunk_k < 1:
             raise ValueError(f"chunk_k must be >= 1, got {chunk_k}")
@@ -189,10 +146,12 @@ class KernelSession:
             self._kind = "csr"
             self._n_rows = target.n_rows
             self._n_cols = target.n_cols
-            self._steady = _CsrSteadyState(target)
+            self._steady = CsrState(target)
+            states = [self._steady]
         elif isinstance(target, TiledMatrix):
             self._kind = "tiled"
             self._init_tiled(target)
+            states = [self._sparse] if self._sparse is not None else []
         elif hasattr(target, "tiled") and hasattr(target, "row_order"):
             # ExecutionPlan (duck-typed: repro.reorder imports this module's
             # package, so a class check would be a circular import).
@@ -200,14 +159,16 @@ class KernelSession:
             self._plan = target
             self._init_tiled(target.tiled)
             self._remainder = (
-                _CsrSteadyState(target.remainder) if target.remainder.nnz else None
+                CsrState(target.remainder) if target.remainder.nnz else None
             )
+            states = [s for s in (self._sparse, self._remainder) if s is not None]
         else:
             raise TypeError(
                 "KernelSession target must be a CSRMatrix, TiledMatrix or "
                 f"ExecutionPlan, got {type(target).__name__}"
             )
         self.target = target
+        self._init_backend(backend, states)
 
     def _init_tiled(self, tiled: TiledMatrix) -> None:
         self._tiled = tiled
@@ -217,8 +178,54 @@ class KernelSession:
             tiled.dense_part, tiled.panel_dense_cols, tiled.spec.panel_height
         )
         self._sparse = (
-            _CsrSteadyState(tiled.sparse_part) if tiled.sparse_part.nnz else None
+            CsrState(tiled.sparse_part) if tiled.sparse_part.nnz else None
         )
+
+    def _init_backend(self, backend: str | None, states: list[CsrState]) -> None:
+        """Resolve the backend and compile one SpMM artifact per state.
+
+        Unavailable backends degrade inside ``resolve_backend``; compile
+        *failures* (e.g. the injected ``backend.compile`` fault) degrade
+        here, all the way down to the uncompiled numpy reference path —
+        a session never fails to construct over its backend.
+        """
+        from repro.kernels.backends import get_backend, resolve_backend, specialize
+
+        requested = backend
+        if requested is None and self._kind == "plan":
+            requested = getattr(self._plan, "backend", None)
+        backend_obj, provenance = resolve_backend(requested)
+        provenance = list(provenance)
+        try:
+            mult = {}
+            for state in states:
+                spec = specialize(state, kernel="spmm", chunk_k=self.chunk_k)
+                mult[id(state)] = backend_obj.artifact(spec).fn
+        except BackendUnavailable as exc:
+            METRICS.counter(
+                "kernels.backend_fallback",
+                "backend requests degraded to the numpy reference",
+            ).inc()
+            provenance.append(
+                f"backend:{backend_obj.name}->numpy: compile failed: {exc}"
+            )
+            _log.warning(
+                "backend %s compile failed (%s); session using numpy",
+                backend_obj.name,
+                exc,
+            )
+            warnings.warn(
+                f"kernel backend {backend_obj.name!r} failed to compile "
+                f"({exc}); session falling back to the numpy reference "
+                "(results unchanged)",
+                DegradedExecution,
+                stacklevel=3,
+            )
+            backend_obj = get_backend("numpy")
+            mult = {}  # empty: _multiply uses the uncompiled reference path
+        self._backend_obj = backend_obj
+        self._mult = mult
+        self.backend_provenance = tuple(provenance)
 
     # ------------------------------------------------------------------
     @property
@@ -230,6 +237,11 @@ class KernelSession:
     def n_cols(self) -> int:
         """Columns of the pinned target (required rows of operands)."""
         return self._n_cols
+
+    @property
+    def backend(self) -> str:
+        """Name of the backend actually executing (after any degradation)."""
+        return self._backend_obj.name
 
     @property
     def fallbacks(self) -> int:
@@ -248,12 +260,23 @@ class KernelSession:
     # ------------------------------------------------------------------
     def _output(self, K: int, out: np.ndarray | None) -> np.ndarray:
         if out is not None:
-            return check_dense("out", out, rows=self._n_rows, cols=K)
+            # Strict: an out= buffer the kernel cannot write in place
+            # (wrong dtype, non-contiguous) is an error, never a silent
+            # copy the caller would read zeros from.
+            return check_out("out", out, rows=self._n_rows, cols=K)
         pinned = getattr(self._local, "out", None)
         if pinned is None or pinned.shape[1] != K:
             pinned = np.empty((self._n_rows, K), dtype=np.float64)
             self._local.out = pinned
         return pinned
+
+    def _multiply(self, state: CsrState, X: np.ndarray, out: np.ndarray, ws) -> None:
+        """One pinned-state SpMM through the session's compiled artifact."""
+        fn = self._mult.get(id(state))
+        if fn is not None:
+            fn(state, X, out, ws)
+        else:
+            state.multiply(X, out, ws, self.chunk_k)
 
     def run(self, X: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """``target @ X`` (for plans: in original coordinates).
@@ -296,12 +319,12 @@ class KernelSession:
                 )
             _log.warning("session fallback to direct allocation: %s", exc)
             with span("kernel.run.fallback", kind=self._kind, k=K):
-                self._dispatch(X, out, _DirectWorkspace())
+                self._dispatch(X, out, DirectWorkspace())
         return out
 
     def _dispatch(self, X: np.ndarray, out: np.ndarray, ws) -> None:
         if self._kind == "csr":
-            self._steady.multiply(X, out, ws, self.chunk_k)
+            self._multiply(self._steady, X, out, ws)
         elif self._kind == "tiled":
             self._run_tiled(X, out, ws)
         else:
@@ -331,7 +354,7 @@ class KernelSession:
         )
         if self._sparse is not None:
             remainder = ws.scratch((self._n_rows, X.shape[1]))
-            self._sparse.multiply(X, remainder, ws, self.chunk_k)
+            self._multiply(self._sparse, X, remainder, ws)
             np.add(out, remainder, out=out)
 
     def _run_plan(self, X: np.ndarray, out: np.ndarray, ws: Workspace) -> None:
@@ -353,7 +376,7 @@ class KernelSession:
         )
         if self._remainder is not None:
             y_rem = ws.scratch((self._n_rows, K))
-            self._remainder.multiply(X, y_rem, ws, self.chunk_k)
+            self._multiply(self._remainder, X, y_rem, ws)
             y_reordered[plan.remainder_order] += y_rem
         # Scatter back: reordered row r is original row row_order[r].
         out[plan.row_order] = y_reordered

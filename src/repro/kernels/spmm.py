@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.contracts import checked, validates
 from repro.sparse.csr import CSRMatrix
-from repro.util.validation import check_dense, check_positive
+from repro.util.validation import check_dense, check_out, check_positive
 from repro.util.workspace import Workspace, as_workspace
 
 __all__ = ["spmm", "spmm_blocked", "spmm_rowwise_reference"]
@@ -101,6 +101,7 @@ def spmm(
     out: np.ndarray | None = None,
     *,
     workspace=None,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Vectorised SpMM.
 
@@ -114,23 +115,36 @@ def spmm(
         accumulation still runs in ``float64`` via the values array.
     out:
         Optional preallocated ``(M, K)`` output (overwritten, not
-        accumulated).
+        accumulated).  Must be writable in place: a float64 C-contiguous
+        ndarray of exactly that shape
+        (:func:`~repro.util.validation.check_out`).
     workspace:
         Optional :class:`~repro.util.workspace.WorkspacePool` or
         :class:`~repro.util.workspace.Workspace`; the ``nnz * K``
         products scratch is leased from it instead of allocated.
+    backend:
+        Optional compiled-backend name (see
+        :mod:`repro.kernels.backends`).  ``None``/``"numpy"`` run this
+        reference path; other names dispatch to the backend's compiled
+        SpMM, degrading back here when the backend is unavailable.
 
     Returns
     -------
     numpy.ndarray
         ``Y`` of shape ``(M, K)``.
     """
+    if backend is not None and backend != "numpy":
+        from repro.kernels.backends import resolve_backend
+
+        resolved, _ = resolve_backend(backend)
+        if resolved.name != "numpy":
+            return resolved.spmm(csr, X, out, workspace=workspace)
     X = check_dense("X", X, rows=csr.n_cols, dtype=None)
     K = X.shape[1]
     if out is None:
         out = np.zeros((csr.n_rows, K), dtype=np.float64)
     else:
-        out = check_dense("out", out, rows=csr.n_rows, cols=K)
+        out = check_out("out", out, rows=csr.n_rows, cols=K)
         out[:] = 0.0
     if csr.nnz == 0:
         return out
@@ -164,6 +178,9 @@ def spmm_blocked(
     Results are bitwise identical to :func:`spmm` (same reduction order).
     Accepts the same ``out=`` / ``workspace=`` as :func:`spmm`; with a
     workspace, consecutive blocks recycle the same size-class buffers.
+    The ``out=`` buffer must be writable in place (float64,
+    C-contiguous): a buffer that would need a dtype or contiguity copy
+    is rejected instead of silently filled-then-discarded.
     """
     check_positive("block_rows", block_rows)
     X = check_dense("X", X, rows=csr.n_cols, dtype=None)
@@ -171,7 +188,7 @@ def spmm_blocked(
     if out is None:
         Y = np.zeros((csr.n_rows, K), dtype=np.float64)
     else:
-        Y = check_dense("out", out, rows=csr.n_rows, cols=K)
+        Y = check_out("out", out, rows=csr.n_rows, cols=K)
         Y[:] = 0.0
     ws, owned = as_workspace(workspace)
     try:

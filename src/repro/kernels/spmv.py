@@ -38,15 +38,26 @@ def spmv_rowwise_reference(csr: CSRMatrix, x: np.ndarray) -> np.ndarray:
 
 
 @checked(validates("csr"))
-def spmv(csr: CSRMatrix, x: np.ndarray, *, workspace=None) -> np.ndarray:
+def spmv(
+    csr: CSRMatrix, x: np.ndarray, *, workspace=None, backend: str | None = None
+) -> np.ndarray:
     """Vectorised SpMV: gather, multiply, segment-sum.
 
     ``workspace`` optionally leases the ``nnz``-long products scratch from
     a :class:`~repro.util.workspace.WorkspacePool` /
     :class:`~repro.util.workspace.Workspace` instead of allocating it;
     the gather and multiply then run through ``out=`` forms with the same
-    operand order, so the result is bitwise identical.
+    operand order, so the result is bitwise identical.  ``backend``
+    optionally dispatches to a compiled backend
+    (:mod:`repro.kernels.backends`), degrading back to this reference
+    path when the backend is unavailable.
     """
+    if backend is not None and backend != "numpy":
+        from repro.kernels.backends import resolve_backend
+
+        resolved, _ = resolve_backend(backend)
+        if resolved.name != "numpy":
+            return resolved.spmv(csr, x, workspace=workspace)
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 1 or x.size != csr.n_cols:
         raise ValueError(f"x must be 1-D of length {csr.n_cols}, got shape {x.shape}")

@@ -33,6 +33,8 @@ Instrument catalogue (see ``docs/OBSERVABILITY.md``):
 ``resilience.fault_fired``       injected faults that actually fired
 ``resilience.retry``             transient-IO retry attempts
 ``resilience.degradation_rung``  plan builds settled below the full rung
+``kernels.backend_compile``      compiled-kernel artifacts built (cache misses)
+``kernels.backend_fallback``     backend requests degraded to the numpy reference
 ``gpu.global_txns``              modelled DRAM transactions
 ``gpu.l2_hits``                  modelled L2 hits
 ``gpu.shm_bytes``                bytes staged through shared memory

@@ -39,7 +39,9 @@ __all__ = [
 #: on-disk layout changes — old entries then miss instead of lying.
 #: v2: entries gained a CRC-32 content checksum and a provenance block
 #: (degradation-ladder history); v1 entries quarantine on read.
-PLAN_FORMAT_VERSION = 2
+#: v3: entries gained the resolved kernel ``backend`` name and the
+#: compiled-artifact descriptor; v2 entries quarantine on read.
+PLAN_FORMAT_VERSION = 3
 
 
 def pattern_fingerprint(csr: CSRMatrix) -> str:

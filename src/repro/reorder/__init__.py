@@ -21,6 +21,7 @@ from repro.reorder.pipeline import (
     ExecutionPlan,
     PlanStats,
     ReorderConfig,
+    attach_backend,
     build_plan,
     reorder_rows,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "ReorderConfig",
     "build_plan",
     "reorder_rows",
+    "attach_backend",
     "AutotuneResult",
     "autotune",
     "OnlineReorderer",

@@ -25,7 +25,7 @@ import numpy as np
 from repro.aspt.tiles import TiledMatrix, tile_matrix
 from repro.clustering.hierarchical import cluster_rows
 from repro.contracts import checked, validates
-from repro.errors import DegradedExecution, TimeoutExceeded
+from repro.errors import BackendUnavailable, DegradedExecution, TimeoutExceeded
 from repro.kernels.aspt_sddmm import sddmm_tiled
 from repro.kernels.aspt_spmm import _panel_dense_spmm
 from repro.kernels.spmm import spmm
@@ -41,7 +41,14 @@ from repro.util.arrayops import rank_of_permutation
 from repro.util.timing import timed
 from repro.util.validation import check_dense, check_positive
 
-__all__ = ["ReorderConfig", "PlanStats", "ExecutionPlan", "build_plan", "reorder_rows"]
+__all__ = [
+    "ReorderConfig",
+    "PlanStats",
+    "ExecutionPlan",
+    "build_plan",
+    "reorder_rows",
+    "attach_backend",
+]
 
 
 @dataclass(frozen=True)
@@ -68,6 +75,12 @@ class ReorderConfig:
     measure: str = "jaccard"  #: candidate-scoring measure (extension; paper uses Jaccard)
     force_round1: bool | None = None  #: override the §4 gate (None = use gate)
     force_round2: bool | None = None
+    #: Compiled kernel backend the plan's multiplies should run through
+    #: (see :mod:`repro.kernels.backends`).  Must be a *registered* name
+    #: ("numpy", "codegen", "numba"); availability is checked at plan
+    #: build, where an unavailable backend degrades to numpy with
+    #: provenance rather than failing.  Part of the plan cache key.
+    backend: str = "numpy"
 
     def __post_init__(self):
         check_positive("siglen", self.siglen)
@@ -75,6 +88,12 @@ class ReorderConfig:
         check_positive("threshold_size", self.threshold_size)
         check_positive("panel_height", self.panel_height)
         check_positive("dense_threshold", self.dense_threshold)
+        # Registered-name check only (never an availability probe): a
+        # typo fails loudly here, a missing optional dependency degrades
+        # later at resolve time.
+        from repro.kernels.backends import get_backend
+
+        get_backend(self.backend)
 
     def lsh_index(self) -> LSHIndex:
         """The LSH configuration as an index object."""
@@ -144,6 +163,24 @@ class ExecutionPlan:
         attempted rung, e.g. ``("full: TimeoutExceeded: cluster1
         exceeded its 2s deadline", "round1-only: ok")``.  Empty for
         plans built without a policy.
+    backend:
+        The compiled kernel backend the plan's sessions execute through
+        (the *resolved* backend — after any degradation).  Defaults to
+        the ``numpy`` reference.
+    backend_provenance:
+        Degradation history for the backend choice, e.g.
+        ``("backend:numba->numpy: numba is not importable (...)",)``.
+        Kept separate from :attr:`provenance` on purpose: a missing
+        optional JIT must not mark the *plan* degraded (degraded plans
+        are never cached, and the reordering decisions are unaffected).
+    artifact:
+        Compiled-artifact descriptor — flat ``"key=value"`` strings from
+        :meth:`repro.kernels.backends.CompiledKernel.descriptor`,
+        including the specialization fingerprint that keys the
+        process-global artifact cache.  Stored in the plan store next to
+        the decisions so warm sessions know the artifact without
+        re-deriving it.  Empty when the backend resolved to ``numpy``
+        without compiling.
     """
 
     original: CSRMatrix
@@ -154,11 +191,19 @@ class ExecutionPlan:
     stats: PlanStats
     preprocess_seconds: dict = field(default_factory=dict, repr=False)
     provenance: tuple = ()
+    backend: str = "numpy"
+    backend_provenance: tuple = ()
+    artifact: tuple = ()
 
     @property
     def degraded(self) -> bool:
         """Whether the plan settled below the ``full`` ladder rung."""
         return bool(self.provenance) and not self.provenance[-1].startswith("full:")
+
+    @property
+    def backend_degraded(self) -> bool:
+        """Whether the requested backend degraded to the numpy reference."""
+        return bool(self.backend_provenance)
 
     # ------------------------------------------------------------------
     @property
@@ -253,6 +298,8 @@ class ExecutionPlan:
                 ]
             ),
             preprocess_total=np.float64(self.preprocessing_time),
+            backend=np.str_(self.backend),
+            artifact=np.array(list(self.artifact), dtype=np.str_),
         )
 
     @classmethod
@@ -270,6 +317,14 @@ class ExecutionPlan:
             dense_threshold = int(data["dense_threshold"])
             raw = data["stats"]
             preprocess_total = float(data["preprocess_total"])
+            # Tolerant read: files written before the backend fields
+            # existed load as numpy-backed plans.
+            backend = str(data["backend"]) if "backend" in data.files else "numpy"
+            artifact = (
+                tuple(str(s) for s in data["artifact"].tolist())
+                if "artifact" in data.files
+                else ()
+            )
         if row_order.size != original.n_rows:
             raise ValueError(
                 f"plan was saved for {row_order.size} rows; matrix has "
@@ -296,6 +351,8 @@ class ExecutionPlan:
             remainder_order=remainder_order,
             stats=stats,
             preprocess_seconds={"total": preprocess_total},
+            backend=backend,
+            artifact=artifact,
         )
 
     def session(self, **kwargs):
@@ -327,6 +384,65 @@ class ExecutionPlan:
         want = sddmm(self.original, X, Y)
         assert got.same_pattern(want)
         np.testing.assert_allclose(got.values, want.values, rtol=1e-10, atol=1e-9)
+
+
+def attach_backend(plan: ExecutionPlan, config: ReorderConfig) -> ExecutionPlan:
+    """Resolve ``config.backend`` and pin its artifact descriptor on ``plan``.
+
+    Runs at the end of every plan build *and* on every cache
+    materialisation, so the choice always reflects the current
+    environment — a plan cached on a machine with numba does not pin a
+    numba requirement onto a machine without it, and vice versa.  Two
+    degradation layers:
+
+    * *unavailable* backends degrade inside
+      :func:`repro.kernels.backends.resolve_backend` (counter, warning,
+      provenance entry);
+    * *compile failures* (e.g. the injected ``backend.compile`` fault)
+      are caught here and degrade the same way.
+
+    Either way the result lands in :attr:`ExecutionPlan.backend` /
+    ``backend_provenance`` — never in the ladder :attr:`~ExecutionPlan.provenance`,
+    so a missing optional JIT does not mark the plan degraded (degraded
+    plans are never cached).
+    """
+    from repro.kernels.backends import resolve_backend, specialize
+
+    backend, provenance = resolve_backend(config.backend)
+    provenance = list(provenance)
+    artifact: tuple = ()
+    if backend.name != "numpy":
+        try:
+            spec = specialize(plan, kernel="spmm")
+            compiled = backend.artifact(spec)
+        except BackendUnavailable as exc:
+            METRICS.counter(
+                "kernels.backend_fallback",
+                "backend requests degraded to the numpy reference",
+            ).inc()
+            provenance.append(
+                f"backend:{backend.name}->numpy: compile failed: {exc}"
+            )
+            warnings.warn(
+                f"kernel backend {backend.name!r} failed to compile ({exc}); "
+                "plan falling back to the numpy reference (results unchanged)",
+                DegradedExecution,
+                stacklevel=2,
+            )
+            from repro.kernels.backends import get_backend
+
+            backend = get_backend("numpy")
+        else:
+            artifact = compiled.descriptor()
+            plan.preprocess_seconds.setdefault(
+                "backend_compile", compiled.compile_seconds
+            )
+    return replace(
+        plan,
+        backend=backend.name,
+        backend_provenance=tuple(provenance),
+        artifact=artifact,
+    )
 
 
 @checked(validates("csr"))
@@ -541,7 +657,7 @@ def _build_plan_uncached(
         n_candidates_round1=n_cand1,
         n_candidates_round2=n_cand2,
     )
-    return ExecutionPlan(
+    plan = ExecutionPlan(
         original=csr,
         row_order=row_order,
         tiled=tiled,
@@ -550,3 +666,4 @@ def _build_plan_uncached(
         stats=stats,
         preprocess_seconds=times,
     )
+    return attach_backend(plan, config)

@@ -23,6 +23,7 @@ import threading
 from collections import Counter
 
 from repro.errors import (
+    BackendUnavailable,
     CorruptStoreError,
     ReproIOError,
     TimeoutExceeded,
@@ -61,6 +62,10 @@ def _pool_fault() -> Exception:
     return WorkspaceExhausted("injected fault: workspace pool exhausted")
 
 
+def _backend_compile_fault() -> Exception:
+    return BackendUnavailable("injected fault: backend kernel compile failure")
+
+
 #: Registered injection sites and the exception each one raises.  The
 #: sites live at the real failure surfaces: adding a site means adding a
 #: ``fault_point(...)`` call in the production module it names.
@@ -72,6 +77,7 @@ FAULT_SITES: dict = {
     "clustering.cluster": _cluster_timeout,
     "workspace.take": _pool_fault,
     "session.run": _pool_fault,
+    "backend.compile": _backend_compile_fault,
 }
 
 #: The active injector (``None`` = injection disabled, the production

@@ -21,6 +21,7 @@ __all__ = [
     "check_in_range",
     "check_integer_array",
     "check_dense",
+    "check_out",
     "check_permutation",
 ]
 
@@ -129,6 +130,41 @@ def check_dense(name: str, mat, *, rows=None, cols=None, dtype=np.float64) -> np
             mat = mat.astype(np.float64)
         return np.ascontiguousarray(mat)
     return np.ascontiguousarray(mat, dtype=dtype)
+
+
+def check_out(name: str, mat, *, rows: int, cols: int) -> np.ndarray:
+    """Validate a caller-supplied output buffer **without ever copying it**.
+
+    :func:`check_dense` coerces with a copy when the input is the wrong
+    dtype or non-contiguous — correct for *operands*, silently wrong for
+    *outputs*: the kernel would fill the coerced copy and the caller's
+    buffer would never see the result.  Output buffers therefore get the
+    strict contract: a C-contiguous ``float64`` ndarray of exactly
+    ``(rows, cols)``, or a :class:`repro.errors.ValidationError` telling
+    the caller why their buffer cannot be written in place.
+    """
+    if not isinstance(mat, np.ndarray):
+        raise ValidationError(
+            f"{name} must be a numpy.ndarray (a preallocated output buffer), "
+            f"got {type(mat).__name__}"
+        )
+    if mat.shape != (rows, cols):
+        raise ShapeError(
+            f"{name} must have shape {(rows, cols)}, got {mat.shape}"
+        )
+    if mat.dtype != np.float64:
+        raise ValidationError(
+            f"{name} must be float64 to be written in place, got {mat.dtype} "
+            "(a dtype-coerced copy would silently discard the results)"
+        )
+    if not mat.flags.c_contiguous:
+        raise ValidationError(
+            f"{name} must be C-contiguous to be written in place "
+            "(a contiguous copy would silently discard the results)"
+        )
+    if not mat.flags.writeable:
+        raise ValidationError(f"{name} is read-only and cannot be written in place")
+    return mat
 
 
 def check_permutation(name: str, perm, n: int) -> np.ndarray:

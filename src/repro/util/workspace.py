@@ -37,7 +37,7 @@ from repro.errors import WorkspaceExhausted
 from repro.observability.metrics import METRICS
 from repro.resilience.faults import fault_point
 
-__all__ = ["Workspace", "WorkspacePool", "as_workspace"]
+__all__ = ["DirectWorkspace", "Workspace", "WorkspacePool", "as_workspace"]
 
 
 def _size_class(n_elements: int) -> int:
@@ -245,6 +245,34 @@ class Workspace:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.release()
+
+
+class DirectWorkspace:
+    """Workspace-shaped allocator with no pooling (plain ``np.empty``).
+
+    Stands in for a :class:`Workspace` wherever code is written against
+    the ``scratch``/``release`` surface but no pool is in play: the
+    :class:`~repro.kernels.KernelSession` exhaustion fallback, and
+    compiled-backend kernels invoked one-shot without a ``workspace=``.
+    Results are bitwise identical either way — pooled and direct paths
+    run the same operations on same-shaped buffers.
+    """
+
+    __slots__ = ()
+
+    def scratch(self, shape, dtype=np.float64) -> np.ndarray:
+        """Allocate one uninitialised C-contiguous array."""
+        return np.empty(shape, dtype=dtype)
+
+    def release(self) -> None:
+        """No-op (nothing is pooled)."""
+        return None
+
+    def __enter__(self) -> "DirectWorkspace":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
 
 
 def as_workspace(workspace) -> tuple[Workspace | None, bool]:

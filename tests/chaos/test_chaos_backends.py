@@ -1,0 +1,120 @@
+"""Chaos tests for the ``backend.compile`` fault site.
+
+Contract (ISSUE satellite): an injected compile failure must never
+crash — sessions and plan builds degrade to the numpy reference, the
+``resilience.fault_fired`` and ``kernels.backend_fallback`` counters
+record the event, the degradation lands in ``backend_provenance`` (never
+in the plan's resilience provenance), and results stay correct.  A
+resumable sweep configured with a compiled backend completes with zero
+crashes at any injection rate.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from conftest import random_csr
+from repro.errors import DegradedExecution
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.kernels import KernelSession, spmm
+from repro.kernels.backends import SpecializationSpec, get_backend
+from repro.observability.metrics import METRICS
+from repro.reorder import ReorderConfig, build_plan
+from repro.resilience import FaultInjector
+
+
+def _fresh_spec(seed: int, **overrides) -> dict:
+    """Config kwargs whose spec fingerprint misses the artifact cache.
+
+    The artifact cache is process-global and ``backend.compile`` faults
+    fire only on cache misses (warm artifacts intentionally skip the
+    fault point), so every chaos scenario needs an unseen spec — an
+    unusual ``chunk_k`` guarantees that.
+    """
+    return {"chunk_k": 97 + seed, **overrides}
+
+
+class TestCompileFaultDegradation:
+    def test_session_compile_fault_falls_back_to_numpy(self, rng):
+        matrix = random_csr(rng, 24, 20, density=0.2)
+        X = rng.normal(size=(20, 8))
+        reference = spmm(matrix, X)
+        fallback = METRICS.counter("kernels.backend_fallback")
+        fired = METRICS.counter("resilience.fault_fired")
+        before_fallback, before_fired = fallback.value, fired.value
+
+        with FaultInjector(rate=1.0, seed=7, sites=["backend.compile"]):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                session = KernelSession(
+                    matrix, backend="codegen", **_fresh_spec(0)
+                )
+                got = session.run(X)
+
+        assert session.backend == "numpy"
+        assert session.backend_provenance
+        assert "injected fault" in session.backend_provenance[0]
+        assert fallback.value == before_fallback + 1
+        assert fired.value == before_fired + 1
+        assert any(w.category is DegradedExecution for w in caught)
+        np.testing.assert_array_equal(got, reference)
+
+    def test_plan_build_compile_fault_degrades_backend_only(self, rng):
+        matrix = random_csr(rng, 30, 24, density=0.15)
+        # panel_height=5 is used nowhere else with codegen, so the spec
+        # fingerprint misses the process-global artifact cache and the
+        # injected compile fault is guaranteed an arrival.
+        config = ReorderConfig(siglen=16, panel_height=5, backend="codegen")
+        with FaultInjector(rate=1.0, seed=11, sites=["backend.compile"]):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DegradedExecution)
+                plan = build_plan(matrix, config)
+        assert plan.backend == "numpy"
+        assert plan.backend_degraded
+        assert any("injected fault" in step for step in plan.backend_provenance)
+        # The resilience ladder is untouched: a backend fault is not a
+        # pipeline degradation and must not block plan caching.
+        assert not plan.degraded
+        # The degraded plan still multiplies correctly (tiled execution
+        # reorders the summation, so tolerance rather than bitwise).
+        X = rng.normal(size=(24, 8))
+        np.testing.assert_allclose(
+            plan.spmm(X), spmm(matrix, X), rtol=1e-10, atol=1e-12
+        )
+
+    def test_warm_artifacts_bypass_faults(self, rng):
+        backend = get_backend("codegen")
+        spec = SpecializationSpec(kernel="spmm", chunk_k=89, k_hint=777)
+        cold = backend.artifact(spec)  # fills the process-global cache
+        with FaultInjector(rate=1.0, seed=3, sites=["backend.compile"]) as inj:
+            warm = backend.artifact(spec)
+        assert warm is cold
+        assert inj.fired["backend.compile"] == 0  # cache hit: no fault arrival
+
+
+class TestChaosSweepWithBackend:
+    def test_backend_sweep_zero_crashes(self, tmp_path, chaos_rate, chaos_seed):
+        reorder = ReorderConfig(panel_height=8, backend="codegen")
+        config = ExperimentConfig(
+            scale="tiny", repeats=1, ks=(16,),
+            reorder=reorder,
+            plan_cache_dir=str(tmp_path / "cache"),
+        )
+        reference = run_experiment(
+            ExperimentConfig(
+                scale="tiny", repeats=1, ks=(16,),
+                reorder=ReorderConfig(panel_height=8),
+            )
+        )
+        with FaultInjector(
+            rate=chaos_rate, seed=chaos_seed, sites=["backend.compile"]
+        ):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DegradedExecution)
+                records = run_experiment(config)  # zero crashes
+        assert len(records) == len(reference)
+        # Backend faults never surface as resilience degradation — every
+        # record's ladder field stays empty (compile failures degrade the
+        # backend, not the plan).
+        assert all(not r.degradation for r in records)

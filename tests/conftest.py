@@ -82,6 +82,43 @@ def random_csr(rng, m, n, density=0.1) -> CSRMatrix:
     return COOMatrix.from_arrays((m, n), rows, cols, vals).to_csr()
 
 
+# --- Compiled kernel backends ------------------------------------------------
+#
+# The cross-backend differential matrix and the parametrized oracle tests
+# run every registered backend.  Backends that are not importable in this
+# environment (numba is an optional dependency, never required) skip with
+# the import error as the reason instead of silently shrinking coverage.
+
+from repro.kernels.backends import backend_names, get_backend  # noqa: E402
+
+
+def _backend_params():
+    params = []
+    for name in backend_names():
+        backend = get_backend(name)
+        marks = ()
+        if not backend.available():
+            marks = (
+                pytest.mark.skip(
+                    reason=f"backend {name!r}: {backend.unavailable_reason()}"
+                ),
+            )
+        params.append(pytest.param(name, marks=marks, id=name))
+    return params
+
+
+@pytest.fixture(params=_backend_params())
+def backend_name(request) -> str:
+    """Name of each registered *available* backend (others skip)."""
+    return request.param
+
+
+@pytest.fixture
+def backend(backend_name):
+    """The :class:`~repro.kernels.backends.KernelBackend` instance."""
+    return get_backend(backend_name)
+
+
 # --- Chaos-suite knobs (tests/chaos) ----------------------------------------
 #
 # The CI ``chaos`` job runs tests/chaos twice with pinned seeds at two

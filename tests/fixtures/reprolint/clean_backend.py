@@ -1,0 +1,13 @@
+"""Fixture: dtype-explicit allocations — RD204 stays silent."""
+
+import numpy as np
+
+
+def kernel(n, k, X):
+    """Every allocation names its dtype (or fixes it positionally)."""
+    out = np.empty((n, k), dtype=np.float64)
+    acc = np.zeros(n, dtype=X.dtype)
+    mask = np.ones((n, 1), np.bool_)  # positional dtype
+    fill = np.full((n, k), 0.5, dtype=X.dtype)
+    like = np.empty_like(X)  # _like constructors inherit the dtype
+    return out, acc, mask, fill, like

@@ -1,0 +1,12 @@
+"""Fixture: RD204 implicit-upcast allocations fire in this file."""
+
+import numpy as np
+
+
+def kernel(n, k):
+    """RD204: dtype-less allocations default to float64."""
+    out = np.empty((n, k))
+    acc = np.zeros(n)
+    mask = np.ones((n, 1))
+    fill = np.full((n, k), 0.5)
+    return out, acc, mask, fill

@@ -33,18 +33,24 @@ MATRICES = [
 
 @pytest.mark.parametrize("name,factory", MATRICES, ids=[m[0] for m in MATRICES])
 class TestAgainstScipy:
-    def test_spmm(self, name, factory, rng):
+    def test_spmm(self, name, factory, rng, backend_name):
         m = factory()
         X = rng.normal(size=(m.n_cols, 16))
         np.testing.assert_allclose(
-            spmm(m, X), to_scipy(m) @ X, rtol=1e-10, atol=1e-9
+            spmm(m, X, backend=backend_name),
+            to_scipy(m) @ X,
+            rtol=1e-10,
+            atol=1e-9,
         )
 
-    def test_spmv(self, name, factory, rng):
+    def test_spmv(self, name, factory, rng, backend_name):
         m = factory()
         x = rng.normal(size=m.n_cols)
         np.testing.assert_allclose(
-            spmv(m, x), to_scipy(m) @ x, rtol=1e-10, atol=1e-9
+            spmv(m, x, backend=backend_name),
+            to_scipy(m) @ x,
+            rtol=1e-10,
+            atol=1e-9,
         )
 
     def test_plan_spmm(self, name, factory, rng):
@@ -55,11 +61,11 @@ class TestAgainstScipy:
             plan.spmm(X), to_scipy(m) @ X, rtol=1e-10, atol=1e-8
         )
 
-    def test_sddmm(self, name, factory, rng):
+    def test_sddmm(self, name, factory, rng, backend_name):
         m = factory()
         X = rng.normal(size=(m.n_cols, 8))
         Y = rng.normal(size=(m.n_rows, 8))
-        got = sddmm(m, X, Y)
+        got = sddmm(m, X, Y, backend=backend_name)
         s = to_scipy(m)
         # scipy oracle: sample (Y @ X.T) at the stored coordinates.
         dense_vals = np.einsum("pk,pk->p", Y[m.row_ids()], X[m.colidx])

@@ -66,13 +66,18 @@ class TestPipelineDegenerate:
         Y = np.ones((shape[0], 3))
         assert plan.sddmm(X, Y).nnz == 0
 
-    def test_direct_kernels(self, shape):
+    def test_direct_kernels(self, shape, backend_name):
         m = CSRMatrix.empty(shape)
         X = np.ones((shape[1], 2))
-        np.testing.assert_allclose(spmm(m, X), np.zeros((shape[0], 2)))
-        out = sddmm(m, X, np.ones((shape[0], 2)))
+        np.testing.assert_allclose(
+            spmm(m, X, backend=backend_name), np.zeros((shape[0], 2))
+        )
+        out = sddmm(m, X, np.ones((shape[0], 2)), backend=backend_name)
         assert out.nnz == 0
-        np.testing.assert_allclose(spmv(m, np.ones(shape[1])), np.zeros(shape[0]))
+        np.testing.assert_allclose(
+            spmv(m, np.ones(shape[1]), backend=backend_name),
+            np.zeros(shape[0]),
+        )
 
     def test_tiling(self, shape):
         tiled = tile_matrix(CSRMatrix.empty(shape), 2, 2)

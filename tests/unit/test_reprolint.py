@@ -157,6 +157,26 @@ class TestNumericalRules:
         )
         assert "RD203" not in codes_of(findings)
 
+    BACKEND_SCOPE = "repro/kernels/backends/fixture.py"
+
+    def test_rd204_fires_on_dtypeless_allocations(self):
+        findings = lint_fixture(
+            "flagged_backend.py", module_path=self.BACKEND_SCOPE
+        )
+        assert codes_of(findings) == ["RD204", "RD204", "RD204", "RD204"]
+
+    def test_rd204_clean_fixture_is_silent(self):
+        assert (
+            lint_fixture("clean_backend.py", module_path=self.BACKEND_SCOPE)
+            == []
+        )
+
+    def test_rd204_inactive_outside_backend_paths(self):
+        findings = lint_fixture(
+            "flagged_backend.py", module_path="repro/kernels/spmm.py"
+        )
+        assert "RD204" not in codes_of(findings)
+
 
 class TestHygieneRules:
     def test_flagged_fixture_fires_rd301_302_303(self):

@@ -14,6 +14,7 @@ from repro.errors import (
     EXIT_INTERRUPTED,
     EXIT_IO,
     EXIT_TIMEOUT,
+    BackendUnavailable,
     CorruptStoreError,
     DegradedExecution,
     ReproIOError,
@@ -153,6 +154,7 @@ class TestFaultInjector:
             "clustering.cluster": TimeoutExceeded,
             "workspace.take": WorkspaceExhausted,
             "session.run": WorkspaceExhausted,
+            "backend.compile": BackendUnavailable,
         }
         assert set(expected) == set(FAULT_SITES)
         for site, exc_type in expected.items():
