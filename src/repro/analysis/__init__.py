@@ -2,9 +2,12 @@
 
 An AST-based lint pass enforcing the invariants this reproduction's
 results depend on but Python cannot type-check: bit-deterministic
-reordering (RD1xx), numerically safe index/value handling (RD2xx), and
-library hygiene (RD3xx).  Configured through ``[tool.reprolint]`` in
-``pyproject.toml``; individual findings are silenced inline with
+reordering (RD1xx), numerically safe index/value handling (RD2xx),
+library hygiene (RD3xx), and the inter-procedural dataflow families
+(RD4xx nondeterminism taint, RD5xx dtype propagation, RD6xx purity —
+see :mod:`repro.analysis.dataflow` and ``docs/ANALYSIS.md``).
+Configured through ``[tool.reprolint]`` in ``pyproject.toml``;
+individual findings are silenced inline with
 ``# reprolint: disable=RD103 -- justification``.
 
 Run it as ``repro lint src/ tests/`` or ``python -m repro.analysis``;
@@ -19,13 +22,14 @@ The runtime complement is :mod:`repro.contracts`, which executes the same
 """
 
 from repro.analysis.config import DEFAULT_SCOPES, LintConfig, load_config
-from repro.analysis.core import REGISTRY, Finding, Rule, all_rules
+from repro.analysis.core import REGISTRY, Finding, ProjectRule, Rule, all_rules
 from repro.analysis.report import render_json, render_text
-from repro.analysis.runner import lint_file, lint_paths, lint_source
+from repro.analysis.runner import lint_file, lint_paths, lint_session, lint_source
 
 __all__ = [
     "Finding",
     "Rule",
+    "ProjectRule",
     "REGISTRY",
     "all_rules",
     "LintConfig",
@@ -34,6 +38,7 @@ __all__ = [
     "lint_paths",
     "lint_file",
     "lint_source",
+    "lint_session",
     "render_text",
     "render_json",
 ]

@@ -2,7 +2,7 @@
 
 Reached two ways with identical semantics::
 
-    repro lint src/ tests/ [--format json] [--select RD101,RD103] ...
+    repro lint src/ tests/ [--format sarif] [--baseline FILE] [--incremental] ...
     python -m repro.analysis src/ tests/ ...
 
 Exit codes: 0 clean, 1 findings reported, and the shared
@@ -13,10 +13,17 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analysis.config import load_config
+from repro.analysis.dataflow.baseline import (
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.dataflow.sarif import render_sarif_json
 from repro.analysis.report import render_json, render_rule_list, render_text
-from repro.analysis.runner import lint_paths
+from repro.analysis.runner import lint_paths, lint_session
 from repro.errors import EXIT_FAILURE, EXIT_OK
 
 __all__ = ["build_parser", "run_lint", "main"]
@@ -27,7 +34,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="reprolint",
         description="codebase-specific static analysis: determinism, "
-        "numerical safety, hygiene (rule codes RD1xx/RD2xx/RD3xx)",
+        "numerical safety, hygiene, and inter-procedural dataflow "
+        "(rule codes RD1xx-RD6xx)",
     )
     add_lint_arguments(parser)
     return parser
@@ -40,7 +48,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
@@ -50,6 +58,28 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--ignore", metavar="CODES", default=None,
         help="comma-separated rule codes to skip (adds to pyproject ignore)",
+    )
+    parser.add_argument(
+        "--sarif", metavar="FILE", default=None,
+        help="additionally write a SARIF 2.1.0 report to FILE",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="subtract findings recorded in this baseline file; only "
+        "findings introduced since then fail the run",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline FILE with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--incremental", action="store_true",
+        help="use the content-addressed cache: only changed files and "
+        "their importers are re-analysed",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="incremental cache location (default: <root>/.reprolint-cache)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -75,8 +105,41 @@ def run_lint(args) -> int:
     extra_ignore = _split_codes(args.ignore)
     if extra_ignore is not None:
         config.ignore = config.ignore | extra_ignore
-    findings = lint_paths(args.paths, config)
-    render = render_json if args.format == "json" else render_text
+
+    if getattr(args, "incremental", False):
+        findings, stats = lint_session(args.paths, config, args.cache_dir)
+        print(stats.render(), file=sys.stderr)
+    else:
+        findings = lint_paths(args.paths, config)
+
+    baseline_path = getattr(args, "baseline", None)
+    if getattr(args, "update_baseline", False):
+        if baseline_path is None:
+            print("--update-baseline requires --baseline FILE", file=sys.stderr)
+            return EXIT_FAILURE
+        save_baseline(findings, baseline_path)
+        print(
+            f"baseline updated: {len(findings)} finding"
+            f"{'s' if len(findings) != 1 else ''} recorded in {baseline_path}",
+            file=sys.stderr,
+        )
+        return EXIT_OK
+    if baseline_path is not None and Path(baseline_path).exists():
+        fingerprints = load_baseline(baseline_path)
+        findings, baselined = apply_baseline(findings, fingerprints)
+        if baselined:
+            print(
+                f"baseline: {len(baselined)} finding"
+                f"{'s' if len(baselined) != 1 else ''} suppressed",
+                file=sys.stderr,
+            )
+
+    if getattr(args, "sarif", None):
+        Path(args.sarif).write_text(
+            render_sarif_json(findings) + "\n", encoding="utf-8"
+        )
+    render = {"text": render_text, "json": render_json,
+              "sarif": render_sarif_json}[args.format]
     print(render(findings))
     return EXIT_FAILURE if findings else EXIT_OK
 

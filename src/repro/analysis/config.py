@@ -69,6 +69,17 @@ DEFAULT_SCOPES: dict[str, tuple[str, ...]] = {
     "print-exempt-paths": ("repro/cli.py", "repro/analysis/cli.py"),
     # RD304: modules containing repro CLI handler functions.
     "cli-paths": ("repro/cli.py",),
+    # RD401/RD402: files whose sink call sites the taint analysis reports
+    # on (sources are followed project-wide regardless of this scope).
+    "taint-paths": ("repro",),
+    # RD501: packages whose value arrays must stay dtype-stable — an
+    # implicit float64 upcast there silently doubles bandwidth and breaks
+    # float32 bitwise reproducibility.
+    "dtype-paths": ("repro/kernels", "repro/sparse", "repro/aspt"),
+    # RD601/RD602: packages whose contract targets and fault sites must
+    # be observably pure (contracts toggle with REPRO_CONTRACTS, faults
+    # with an installed injector — neither may change results).
+    "purity-paths": ("repro",),
 }
 
 

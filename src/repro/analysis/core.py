@@ -12,7 +12,11 @@ CONTRIBUTING.md:
 * ``RD2xx`` — numerical safety (float equality, index narrowing, unchecked
   entry points),
 * ``RD3xx`` — hygiene (bare except, mutable defaults, stray prints,
-  unrouted CLI handlers).
+  unrouted CLI handlers),
+* ``RD4xx``/``RD5xx``/``RD6xx`` — inter-procedural dataflow families
+  (nondeterminism taint, dtype propagation, purity), implemented as
+  :class:`ProjectRule` subclasses over a whole-project call graph (see
+  :mod:`repro.analysis.dataflow`).
 
 ``RD001`` is reserved for files that fail to parse.
 """
@@ -27,6 +31,7 @@ __all__ = [
     "Finding",
     "FileContext",
     "Rule",
+    "ProjectRule",
     "REGISTRY",
     "register",
     "all_rules",
@@ -105,6 +110,27 @@ class Rule:
 
     def visit(self, ctx: FileContext) -> Iterator[Finding]:
         """Yield findings for ``ctx`` (subclass responsibility)."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for type checkers
+
+
+class ProjectRule(Rule):
+    """Base class for whole-project (inter-procedural) rules.
+
+    Unlike per-file :class:`Rule` subclasses, a project rule sees every
+    parsed file at once through a :class:`repro.analysis.dataflow.Project`
+    and may follow calls across module boundaries.  Findings are still
+    anchored to one file/line, and the runner applies path scoping and
+    inline suppressions per finding (using the *finding's* file), so the
+    configuration surface is identical to per-file rules.
+    """
+
+    def visit(self, ctx: FileContext) -> Iterator[Finding]:
+        """Project rules do not run per-file; the runner calls :meth:`analyze`."""
+        return iter(())
+
+    def analyze(self, project) -> Iterator[Finding]:
+        """Yield findings over a whole :class:`~repro.analysis.dataflow.Project`."""
         raise NotImplementedError
         yield  # pragma: no cover - makes this a generator for type checkers
 

@@ -1,0 +1,107 @@
+"""Finding baselines: adopt-now, fail-on-new lint workflows.
+
+A baseline file records a *fingerprint* per accepted finding.  Later runs
+subtract baselined findings, so ``repro lint --baseline FILE`` fails only
+on findings introduced since the baseline was captured, letting a new
+rule land with its pre-existing debt acknowledged in-tree.
+
+Fingerprints hash ``(path, code, message)`` — deliberately **not** the
+line number, so pure code motion (imports added above, reformatting)
+does not resurrect baselined findings.  Paths are normalised to
+repo-relative posix on load, so baselines captured on one machine apply
+on any other.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.util.hashing import stable_digest
+
+__all__ = [
+    "finding_fingerprint",
+    "load_baseline",
+    "save_baseline",
+    "apply_baseline",
+    "BASELINE_VERSION",
+]
+
+BASELINE_VERSION = 1
+
+
+def _normalize_path(path: str) -> str:
+    """Repo-relative posix form of a baseline entry path."""
+    path = path.replace("\\", "/")
+    while path.startswith("./"):
+        path = path[2:]
+    return path
+
+
+def finding_fingerprint(finding) -> str:
+    """Stable, line-insensitive identity of a finding."""
+    return stable_digest(
+        _normalize_path(finding.path).encode("utf-8"),
+        finding.code.encode("utf-8"),
+        finding.message.encode("utf-8"),
+    )
+
+
+def save_baseline(findings, path) -> dict:
+    """Write a baseline for ``findings``; returns the written document."""
+    findings = sorted(findings)
+    entries = [
+        {
+            "fingerprint": finding_fingerprint(f),
+            "path": _normalize_path(f.path),
+            "code": f.code,
+            "message": f.message,
+        }
+        for f in findings
+    ]
+    # One entry per fingerprint keeps the file diff-stable.
+    unique = {e["fingerprint"]: e for e in entries}
+    doc = {
+        "version": BASELINE_VERSION,
+        "count": len(unique),
+        "findings": [unique[fp] for fp in sorted(unique)],
+    }
+    Path(path).write_text(json.dumps(doc, indent=1) + "\n", encoding="utf-8")
+    return doc
+
+
+def load_baseline(path) -> frozenset:
+    """Fingerprints recorded in a baseline file.
+
+    Entries carrying ``path``/``code``/``message`` are re-fingerprinted
+    after path normalisation, so hand-edits and cross-platform paths
+    still match; bare fingerprints are accepted as-is.
+    """
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    fingerprints = set()
+    for entry in raw.get("findings", ()):
+        if isinstance(entry, str):
+            fingerprints.add(entry)
+            continue
+        if all(k in entry for k in ("path", "code", "message")):
+            fingerprints.add(
+                stable_digest(
+                    _normalize_path(entry["path"]).encode("utf-8"),
+                    entry["code"].encode("utf-8"),
+                    entry["message"].encode("utf-8"),
+                )
+            )
+        elif "fingerprint" in entry:
+            fingerprints.add(entry["fingerprint"])
+    return frozenset(fingerprints)
+
+
+def apply_baseline(findings, fingerprints):
+    """Split findings into ``(new, baselined)`` against a fingerprint set."""
+    new, baselined = [], []
+    for finding in sorted(findings):
+        if finding_fingerprint(finding) in fingerprints:
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

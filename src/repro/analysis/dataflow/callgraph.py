@@ -1,0 +1,234 @@
+"""Project call graph: modules, definitions, import and call resolution.
+
+The graph is deliberately syntactic — no execution, no type inference.
+Calls resolve through the three shapes that cover this codebase:
+
+* ``f(...)`` where ``f`` is a module-level function of the same module or
+  a ``from mod import f`` binding,
+* ``alias.f(...)`` where ``alias`` comes from ``import mod [as alias]``,
+* ``self.m(...)`` / ``cls.m(...)`` inside a method, bound within the
+  enclosing class.
+
+Everything else (arbitrary attribute calls, higher-order values) resolves
+to *external* or *unknown*; the analyses treat those conservatively.
+External names are normalised to their dotted module form (``np.zeros``
+-> ``numpy.zeros``) so source/sink tables can be written once.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleInfo",
+    "CallGraph",
+    "module_name_for",
+    "module_imports",
+    "parse_module",
+]
+
+#: Aliases conventionally used for external packages, normalised so the
+#: source/sink tables only need the canonical spelling.
+_CANONICAL = {"np": "numpy"}
+
+
+def module_name_for(module_rel: str) -> str:
+    """Dotted module name for a package-relative path.
+
+    ``repro/util/hashing.py`` -> ``repro.util.hashing``;
+    ``pkg/__init__.py`` -> ``pkg``.
+    """
+    rel = module_rel[:-3] if module_rel.endswith(".py") else module_rel
+    parts = [p for p in rel.split("/") if p]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    key: str  #: global id ``module:qualname``
+    module: str  #: dotted module name
+    qualname: str  #: ``fn`` or ``Class.method``
+    node: ast.AST  #: the ``FunctionDef`` / ``AsyncFunctionDef``
+    params: list[str]  #: positional + keyword parameter names, in order
+    class_name: str | None = None  #: owning class for methods
+    display: str = ""  #: file path (for findings)
+
+    @property
+    def name(self) -> str:
+        """The bare function name (last qualname segment)."""
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module: its tree plus resolved import tables."""
+
+    name: str  #: dotted module name
+    display: str  #: path used in findings
+    module_rel: str  #: package-relative path used for scoping
+    tree: ast.AST | None  #: parsed module (None for cache-restored stubs)
+    imports: dict[str, str] = field(default_factory=dict)  #: alias -> module
+    from_imports: dict[str, tuple[str, str]] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    lines: list[str] = field(default_factory=list)
+
+
+def _collect_imports(info: ModuleInfo, tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".", 1)[0]
+                target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                info.imports[bound] = _CANONICAL.get(bound, target)
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            if node.level:
+                # Relative import: ``from . import x`` in pkg.mod -> pkg,
+                # each extra dot climbs one more package level.
+                base = info.name.split(".")[: -node.level]
+                mod = ".".join([p for p in base if p] + ([mod] if mod else []))
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                info.from_imports[bound] = (mod, alias.name)
+
+
+def _collect_functions(info: ModuleInfo, tree: ast.AST) -> None:
+    for node in tree.body if isinstance(tree, ast.Module) else []:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _add_function(info, node, class_name=None)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    _add_function(info, item, class_name=node.name)
+
+
+def _add_function(info: ModuleInfo, node, class_name: str | None) -> None:
+    qualname = f"{class_name}.{node.name}" if class_name else node.name
+    args = node.args
+    params = [a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]]
+    info.functions[qualname] = FunctionInfo(
+        key=f"{info.name}:{qualname}",
+        module=info.name,
+        qualname=qualname,
+        node=node,
+        params=params,
+        class_name=class_name,
+        display=info.display,
+    )
+
+
+def module_imports(module: ModuleInfo) -> list[str]:
+    """Dotted names this module imports (the incremental dirty closure's
+    dependency edges): plain imports plus both halves of from-imports."""
+    names = set(module.imports.values())
+    for mod, attr in module.from_imports.values():
+        if mod:
+            names.add(mod)
+            names.add(f"{mod}.{attr}")
+        else:
+            names.add(attr)
+    return sorted(names)
+
+
+def parse_module(name: str, display: str, module_rel: str, tree: ast.AST,
+                 lines: list[str] | None = None) -> ModuleInfo:
+    """Build a :class:`ModuleInfo` (imports + definitions) from a parsed tree."""
+    info = ModuleInfo(name=name, display=display, module_rel=module_rel,
+                      tree=tree, lines=lines or [])
+    _collect_imports(info, tree)
+    _collect_functions(info, tree)
+    return info
+
+
+class CallGraph:
+    """Resolves call expressions against the project's definitions.
+
+    Resolution results are tagged tuples:
+
+    * ``("internal", key)`` — a project function, ``key`` indexes
+      :attr:`functions`;
+    * ``("external", dotted)`` — a call into another package, dotted name
+      normalised (``numpy.zeros``, ``time.time``);
+    * ``None`` — unresolvable (lambdas, arbitrary attribute chains).
+    """
+
+    def __init__(self, modules: dict[str, ModuleInfo]):
+        self.modules = modules
+        self.functions: dict[str, FunctionInfo] = {}
+        self.methods_by_name: dict[str, list[str]] = {}
+        for mod in modules.values():
+            for fn in mod.functions.values():
+                self.functions[fn.key] = fn
+                if fn.class_name is not None:
+                    self.methods_by_name.setdefault(fn.name, []).append(fn.key)
+
+    def dotted_name(self, module: ModuleInfo, node: ast.AST) -> str | None:
+        """Flatten ``a.b.c`` to a dotted string (raw, un-aliased root)."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    def resolve(
+        self,
+        module: ModuleInfo,
+        func: ast.AST,
+        class_name: str | None = None,
+    ):
+        """Resolve the callee expression of a ``Call`` node (see class docs)."""
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in module.from_imports:
+                target_mod, attr = module.from_imports[name]
+                target = self.modules.get(target_mod)
+                if target is not None and attr in target.functions:
+                    return ("internal", target.functions[attr].key)
+                if target is not None:
+                    return None  # internal module, but not a function (class, const)
+                return ("external", f"{target_mod}.{attr}")
+            if name in module.functions:
+                return ("internal", module.functions[name].key)
+            if name in module.imports:
+                return ("external", module.imports[name])
+            return ("builtin", name)
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id in ("self", "cls")
+                and class_name is not None
+            ):
+                qual = f"{class_name}.{func.attr}"
+                if qual in module.functions:
+                    return ("internal", module.functions[qual].key)
+                return None
+            dotted = self.dotted_name(module, func)
+            if dotted is None:
+                return None
+            root = dotted.split(".", 1)[0]
+            if root in module.imports:
+                expanded = module.imports[root] + dotted[len(root):]
+                target = self.modules.get(expanded.rsplit(".", 1)[0])
+                attr = expanded.rsplit(".", 1)[-1]
+                if target is not None and attr in target.functions:
+                    return ("internal", target.functions[attr].key)
+                return ("external", expanded)
+            if root in module.from_imports:
+                mod_name, attr = module.from_imports[root]
+                # ``from repro import util; util.hashing.stable_digest`` —
+                # rare; resolve one attribute level only.
+                return ("external", f"{mod_name}.{attr}" + dotted[len(root):])
+            if root in _CANONICAL:  # bare np.* in fixture snippets
+                return ("external", _CANONICAL[root] + dotted[len(root):])
+            return None
+        return None

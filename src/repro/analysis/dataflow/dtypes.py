@@ -1,0 +1,383 @@
+"""RD5xx — dtype-propagation lattice analysis.
+
+Generalises the intra-function RD204 (dtype-less allocations in backend
+code) to flows *across* call boundaries: every function gets a
+:class:`DtypeSummary` describing its return dtype as a lattice constant
+joined with the dtypes of selected parameters, and callers evaluate that
+summary against their concrete arguments.
+
+RD501 fires at a *join point* where
+
+* a known-``float32`` value meets a hard ``float64`` (a definite silent
+  upcast: the result doubles bandwidth and breaks float32 bitwise
+  reproducibility), or
+* a dtype-*preserving* parameter path meets a hard ``float64`` (the
+  function widens float32 inputs on that path — e.g. an empty-result
+  branch allocating ``np.empty(0, dtype=np.float64)`` while the other
+  branch slices ``csr.values``).
+
+Hard ``float64`` values come from explicit ``dtype=np.float64`` and from
+the NumPy constructors that default to it (``np.zeros`` et al. without a
+``dtype``).  Python float literals are *weak* (NumPy value-based casting
+keeps float32 arrays float32), so they never seed an upcast.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.dataflow.cfg import BIND, TEST, build_cfg, solve_forward
+from repro.analysis.dataflow.lattice import (
+    BOT, BOTTOM_VAL, F32, F64, INT, TOP, dtype_join, join_vals, make_const,
+    make_params,
+)
+
+__all__ = ["DtypeSummary", "DtypeAnalysis", "UPCAST_CODE"]
+
+UPCAST_CODE = "RD501"
+
+#: NumPy constructors that default to float64 when ``dtype`` is omitted.
+_F64_DEFAULT_ALLOCATORS = {
+    "numpy.zeros", "numpy.ones", "numpy.empty", "numpy.full", "numpy.eye",
+    "numpy.identity", "numpy.linspace",
+}
+
+#: NumPy functions that preserve/join the dtypes of their array arguments.
+_DTYPE_JOINING = {
+    "numpy.add", "numpy.subtract", "numpy.multiply", "numpy.divide",
+    "numpy.minimum", "numpy.maximum", "numpy.dot", "numpy.matmul",
+    "numpy.concatenate", "numpy.stack", "numpy.vstack", "numpy.hstack",
+    "numpy.where", "numpy.take", "numpy.abs", "numpy.sum", "numpy.cumsum",
+    "numpy.ascontiguousarray", "numpy.asarray", "numpy.array",
+    "numpy.copy", "numpy.ravel", "numpy.reshape", "numpy.transpose",
+    "numpy.zeros_like", "numpy.ones_like", "numpy.empty_like",
+    "numpy.full_like",
+}
+
+#: Positional index of the ``dtype`` parameter for the f64-defaulting
+#: allocators (so ``np.ones(shape, np.bool_)`` is not read as dtype-less).
+_POSITIONAL_DTYPE = {
+    "numpy.zeros": 1, "numpy.ones": 1, "numpy.empty": 1,
+    "numpy.identity": 1, "numpy.full": 2, "numpy.eye": 3,
+}
+
+#: dtype-expression spellings -> lattice constants.
+_DTYPE_NAMES = {
+    "float32": F32, "single": F32,
+    "float64": F64, "double": F64, "float_": F64,
+    "int8": INT, "int16": INT, "int32": INT, "int64": INT,
+    "uint8": INT, "uint16": INT, "uint32": INT, "uint64": INT,
+    "intp": INT, "int_": INT, "bool_": INT, "bool": INT, "int": INT,
+    "float": F64,
+}
+
+
+@dataclass
+class DtypeSummary:
+    """Serialisable return-dtype summary: ``const ⊔ join(passthrough args)``."""
+
+    const: str = BOT  #: lattice constant contributed by allocations/literals
+    passthrough: frozenset = frozenset()  #: params whose dtype reaches the return
+    origin: str = ""  #: description of the hard-float64 origin (if const is f64)
+    origin_implicit: bool = False  #: float64 by *default* rather than request
+
+    def to_dict(self) -> dict:
+        """JSON form for the incremental cache."""
+        return {
+            "const": self.const,
+            "passthrough": sorted(self.passthrough),
+            "origin": self.origin,
+            "origin_implicit": self.origin_implicit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DtypeSummary":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            const=data.get("const", BOT),
+            passthrough=frozenset(data.get("passthrough", ())),
+            origin=data.get("origin", ""),
+            origin_implicit=bool(data.get("origin_implicit", False)),
+        )
+
+    def key(self):
+        """Hashable identity used for fixpoint change detection."""
+        return (self.const, self.passthrough, self.origin, self.origin_implicit)
+
+
+class DtypeAnalysis:
+    """Dtype lattice propagation with cross-call summaries."""
+
+    def __init__(self, callgraph, get_summary):
+        self.callgraph = callgraph
+        self.get_summary = get_summary
+
+    def summarize(self, fn, module) -> DtypeSummary:
+        """Compute ``fn``'s return-dtype summary."""
+        state = _FnState(self, fn, module, emit=None)
+        state.run()
+        return state.summary()
+
+    def report(self, fn, module, emit) -> None:
+        """Re-run ``fn`` emitting RD501 upcast findings through ``emit``."""
+        state = _FnState(self, fn, module, emit=emit)
+        state.run()
+
+
+class _FnState:
+    def __init__(self, analysis, fn, module, emit):
+        self.analysis = analysis
+        self.fn = fn
+        self.module = module
+        self.emit = emit
+        self.return_val = BOTTOM_VAL
+        self.seen_events: set = set()
+
+    def run(self) -> None:
+        cfg = build_cfg(self.fn.node)
+        init = {p: make_params([p]) for p in self.fn.params}
+
+        def transfer(kind, node, env):
+            return self.transfer(kind, node, dict(env))
+
+        def join(a, b, succ):
+            # Merges into the exit block combine environments from paths
+            # that already returned/raised — those values are dead, so
+            # they never witness a real upcast.
+            live = succ != cfg.exit
+            merged = dict(a)
+            for var, val in b.items():
+                if var in merged:
+                    joined, event = join_vals(merged[var], val)
+                    merged[var] = joined
+                    if live:
+                        self.record(event, node=None)
+                else:
+                    merged[var] = val
+            return merged
+
+        solve_forward(cfg, init, transfer, join)
+
+    def summary(self) -> DtypeSummary:
+        const, params, origin = self.return_val
+        desc = origin[2] if origin is not None else ""
+        implicit = bool(origin[3]) if origin is not None else False
+        return DtypeSummary(
+            const=const, passthrough=params, origin=desc, origin_implicit=implicit
+        )
+
+    def record(self, event, node) -> None:
+        """Emit an upcast event (reporting mode only), deduplicated.
+
+        Reporting policy: a ``"f32"`` event (known float32 meets hard
+        float64) always reports; a ``"param"`` event (dtype-preserving
+        path widens) reports only when the float64 side is *implicit*
+        (allocator default) or the event is a control-flow merge
+        (``node is None`` — two branches of one function disagree, like
+        an empty-result branch allocating float64).  Explicitly requested
+        float64 meeting a parameter at an expression is an announced
+        coercion (``check_dense``-style normalisation), not a silent one.
+        """
+        if event is None or self.emit is None:
+            return
+        kind, origin = event
+        if kind == "param" and node is not None:
+            if origin is None or not origin[3]:
+                return
+        anchor = node if node is not None else _OriginAnchor(origin)
+        if anchor is None or getattr(anchor, "lineno", None) is None:
+            return
+        dedupe = (anchor.lineno, anchor.col_offset, kind)
+        if dedupe in self.seen_events:
+            return
+        self.seen_events.add(dedupe)
+        source = f" ({origin[2]})" if origin is not None else ""
+        if kind == "f32":
+            message = (
+                f"float32 value meets a hard float64 value{source}; the "
+                "result silently upcasts to float64"
+            )
+        else:
+            message = (
+                f"dtype-preserving path joins a hard float64 value{source}; "
+                "float32 inputs widen to float64 here"
+            )
+        self.emit(anchor, UPCAST_CODE, message)
+
+    def join_at(self, a, b, node):
+        joined, event = join_vals(a, b)
+        self.record(event, node)
+        return joined
+
+    # -- statement transfer -------------------------------------------------
+
+    def transfer(self, kind, node, env):
+        if kind == TEST:
+            self.eval(node, env)
+            return env
+        if kind == BIND:
+            self.bind(node.target, self.eval(node.iter, env), env)
+            return env
+        stmt = node
+        if isinstance(stmt, ast.Assign):
+            val = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self.bind(target, val, env)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self.bind(stmt.target, self.eval(stmt.value, env), env)
+        elif isinstance(stmt, ast.AugAssign):
+            val = self.eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                current = env.get(stmt.target.id, BOTTOM_VAL)
+                env[stmt.target.id] = self.join_at(current, val, stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                val = self.eval(stmt.value, env)
+                self.return_val = self.join_at(self.return_val, val, stmt)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+        return env
+
+    def bind(self, target, val, env):
+        if isinstance(target, ast.Name):
+            env[target.id] = val
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.bind(elt, val, env)
+        # Subscript/attribute stores keep the container's own value.
+
+    # -- expression evaluation ----------------------------------------------
+
+    def eval(self, node, env):
+        if isinstance(node, ast.Name):
+            return env.get(node.id, BOTTOM_VAL)
+        if isinstance(node, ast.Constant):
+            return BOTTOM_VAL  # python scalars are weak (no forced upcast)
+        if isinstance(node, ast.Call):
+            return self.eval_call(node, env)
+        if isinstance(node, ast.BinOp):
+            return self.join_at(
+                self.eval(node.left, env), self.eval(node.right, env), node
+            )
+        if isinstance(node, ast.IfExp):
+            return self.join_at(
+                self.eval(node.body, env), self.eval(node.orelse, env), node
+            )
+        if isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+            return self.eval(node.value, env)  # indexing/attributes preserve dtype
+        if isinstance(node, (ast.Tuple, ast.List)):
+            # Elements of a literal container do not interact numerically,
+            # so their values merge without recording upcast events.
+            out = BOTTOM_VAL
+            for elt in node.elts:
+                out, _ = join_vals(out, self.eval(elt, env))
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand, env)
+        return BOTTOM_VAL
+
+    def dtype_const(self, node, env):
+        """Lattice constant for a ``dtype=...`` expression (TOP if unknown)."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return _DTYPE_NAMES.get(node.value, TOP), None
+        if isinstance(node, ast.Attribute):
+            base = self.eval(node.value, env)
+            if node.attr == "dtype" and base[1]:
+                return BOT, base[1]  # x.dtype of a param: preserving
+            if node.attr in _DTYPE_NAMES:
+                return _DTYPE_NAMES[node.attr], None
+        if isinstance(node, ast.Name) and node.id in _DTYPE_NAMES:
+            return _DTYPE_NAMES[node.id], None
+        val = self.eval(node, env)
+        if val[1]:
+            return BOT, val[1]
+        return TOP, None
+
+    def eval_call(self, node, env):
+        resolved = self.analysis.callgraph.resolve(
+            self.module, node.func, class_name=self.fn.class_name
+        )
+        kwargs = {k.arg: k.value for k in node.keywords if k.arg}
+
+        # x.astype(t) takes the target dtype regardless of x.
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "astype":
+            target = kwargs.get("dtype")
+            if target is None and node.args:
+                target = node.args[0]
+            if target is not None:
+                const, params = self.dtype_const(target, env)
+                return (const, params or frozenset(), None)
+            return (TOP, frozenset(), None)
+
+        if resolved is not None and resolved[0] == "external":
+            dotted = resolved[1]
+            name = dotted.rsplit(".", 1)[-1]
+            if name in _DTYPE_NAMES and dotted.startswith("numpy."):
+                # np.float32(x) / np.float64(x) style casts.
+                return (make_const(_DTYPE_NAMES[name],
+                                   _origin(node, f"np.{name}(...)")))
+            dtype_arg = kwargs.get("dtype")
+            if dtype_arg is None:
+                # Positional dtype, e.g. np.ones(shape, np.bool_).
+                index = _POSITIONAL_DTYPE.get(dotted)
+                if index is not None and len(node.args) > index:
+                    dtype_arg = node.args[index]
+            if dtype_arg is not None:
+                const, params = self.dtype_const(dtype_arg, env)
+                origin = _origin(node, "explicit dtype=float64") if const == F64 else None
+                return (const, params or frozenset(), origin)
+            if dotted in _F64_DEFAULT_ALLOCATORS:
+                short = "np." + dotted.rsplit(".", 1)[-1]
+                return make_const(
+                    F64, _origin(node, f"{short}(...) without dtype defaults "
+                                 "to float64", implicit=True)
+                )
+            if dotted in _DTYPE_JOINING:
+                out = BOTTOM_VAL
+                for arg in node.args:
+                    if isinstance(arg, (ast.List, ast.Tuple)):
+                        for elt in arg.elts:
+                            out = self.join_at(out, self.eval(elt, env), node)
+                    else:
+                        out = self.join_at(out, self.eval(arg, env), node)
+                return out
+            return (TOP, frozenset(), None)
+
+        if resolved is not None and resolved[0] == "internal":
+            key = resolved[1]
+            summary = self.analysis.get_summary("dtype", key)
+            if summary is None:
+                return (TOP, frozenset(), None)
+            callee = self.analysis.callgraph.functions.get(key)
+            params = callee.params if callee is not None else []
+            const = summary.const
+            origin = None
+            if const == F64:
+                name = key.split(":", 1)[1]
+                detail = f": {summary.origin}" if summary.origin else ""
+                origin = _origin(node, f"{name}() returns float64{detail}",
+                                 implicit=summary.origin_implicit)
+            out = (const, frozenset(), origin)
+            for index, arg in enumerate(node.args):
+                name = params[index] if index < len(params) else None
+                if name is not None and name in summary.passthrough:
+                    out = self.join_at(out, self.eval(arg, env), node)
+            for kwname, value in kwargs.items():
+                if kwname in summary.passthrough:
+                    out = self.join_at(out, self.eval(value, env), node)
+            return out
+
+        return (TOP, frozenset(), None)
+
+
+class _OriginAnchor:
+    """Adapter giving an origin tuple the ``.lineno``/``.col_offset`` shape."""
+
+    def __init__(self, origin):
+        self.lineno = origin[0] if origin is not None else None
+        self.col_offset = origin[1] if origin is not None else 0
+
+
+def _origin(node, desc, implicit=False):
+    return (node.lineno, node.col_offset, desc, implicit)

@@ -1,0 +1,86 @@
+"""The dtype-propagation lattice used by the RD5xx analysis.
+
+Element order (a join semilattice)::
+
+        top
+       / | \\
+    f32 f64 int        (pairwise joins go to top, except f32 ⊔ f64 = f64,
+       \\ | /            which is exactly the *upcast* the analysis reports)
+        bot
+
+Abstract values are ``(const, params, origin)`` tuples:
+
+* ``const`` — the lattice element contributed by literals/allocations,
+* ``params`` — parameter names whose runtime dtype flows into the value
+  (a dtype-*preserving* path: ``csr.values[gather]`` keeps whatever dtype
+  the caller passed),
+* ``origin`` — ``(line, col, description, implicit)`` of the expression
+  that first introduced a hard ``float64``, so findings can point at the
+  allocation rather than the merge point.  ``implicit`` distinguishes a
+  float64 that *defaulted* (``np.zeros`` without ``dtype`` — always worth
+  reporting) from one explicitly requested (``astype(np.float64)``,
+  ``dtype=np.float64`` — an announced contract, reported only when two
+  control-flow branches disagree).
+
+Plain tuples keep environment comparison cheap inside the CFG fixpoint.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BOT", "F32", "F64", "INT", "TOP",
+    "dtype_join", "make_const", "make_params", "join_vals", "BOTTOM_VAL",
+]
+
+BOT = "bot"
+F32 = "float32"
+F64 = "float64"
+INT = "int"
+TOP = "top"
+
+#: The no-information value.
+BOTTOM_VAL = (BOT, frozenset(), None)
+
+
+def dtype_join(a: str, b: str) -> str:
+    """Join of two lattice constants (see module docstring for the order)."""
+    if a == b:
+        return a
+    if a == BOT:
+        return b
+    if b == BOT:
+        return a
+    if {a, b} == {F32, F64}:
+        return F64
+    return TOP
+
+
+def make_const(const: str, origin=None):
+    """Abstract value for a literal/allocation of known dtype."""
+    return (const, frozenset(), origin if const == F64 else None)
+
+
+def make_params(names):
+    """Abstract value that preserves the dtype of the named parameters."""
+    return (BOT, frozenset(names), None)
+
+
+def join_vals(a, b):
+    """Join two abstract values; returns ``(joined, upcast_event)``.
+
+    ``upcast_event`` is ``None`` or ``(kind, f64_origin)`` where ``kind``
+    is ``"f32"`` (a known-float32 value met a hard float64 — a definite
+    upcast) or ``"param"`` (a dtype-preserving parameter path met a hard
+    float64 — float32 inputs widen on this path).
+    """
+    const = dtype_join(a[0], b[0])
+    params = a[1] | b[1]
+    origin = a[2] if a[2] is not None else b[2]
+    event = None
+    if F64 in (a[0], b[0]) and a[0] != b[0]:
+        f64_side, other = (a, b) if a[0] == F64 else (b, a)
+        if other[0] == F32:
+            event = ("f32", f64_side[2])
+        elif other[1] and other[0] == BOT:
+            event = ("param", f64_side[2])
+    return (const, params, origin), event

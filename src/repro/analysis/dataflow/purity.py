@@ -1,0 +1,615 @@
+"""RD6xx — purity / side-effect inference.
+
+Contracts (``@checked`` / ``validates`` / ``invokes``) execute only when
+``REPRO_CONTRACTS=1`` and fault probes (``fault_point``) only with an
+injector installed; both toggles must never change results.  That holds
+exactly when
+
+* **RD601** — every *contract target* (the validator callables a
+  ``@checked`` decoration references: named functions, plus ``validate``
+  / ``validate_structure``-style methods invoked through the
+  ``validates``/``invokes`` factories) is observably pure, and
+* **RD602** — no observable side effect happens *before* a
+  ``fault_point`` call in its enclosing function: if the fault fires,
+  the function must raise without having changed anything a caller can
+  see (the chaos suite's "non-degraded runs are bitwise-equal" property
+  depends on it).
+
+Effects come in two strengths.  *Unconditional* effects (``global``
+declarations, I/O, global RNG state, mutating module-level objects) make
+a function impure for every caller.  *Parameter mutations* are
+conditional: ``spmm(csr, X, out=...)`` writing into ``out`` is an effect
+only for callers that actually pass an observable object there — a
+caller that lets ``out`` default to a fresh allocation stays pure.  Call
+sites therefore record a *binding* (which caller objects flow into which
+callee parameters, tracked through local aliases like
+``Y = check_out(out, ...)``), and the transitive closure resolves callee
+parameter mutations against it.  Mutating plain locals is never an
+effect — that is not observable from outside.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+__all__ = ["PuritySummary", "PurityAnalysis", "CONTRACT_CODE", "FAULT_CODE"]
+
+CONTRACT_CODE = "RD601"
+FAULT_CODE = "RD602"
+
+#: Method names that mutate their receiver.
+_MUTATORS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "add", "discard", "setdefault", "sort", "reverse",
+    "fill", "resize", "put", "setflags", "setfield", "itemset",
+    "write", "writelines", "write_text", "write_bytes", "flush",
+    "unlink", "mkdir", "rmdir", "touch", "rename", "replace",
+}
+
+#: Builtins with observable effects.
+_IMPURE_BUILTINS = {"print", "input", "open", "exec", "setattr", "delattr"}
+
+#: ``os.*`` prefixes that are effect-free reads (everything else under
+#: ``os`` counts as an effect).
+_PURE_OS_PREFIXES = (
+    "os.path.", "os.fspath", "os.getcwd", "os.cpu_count", "os.getpid",
+    "os.urandom", "os.environ.get",
+)
+
+#: External module roots whose calls have observable effects.
+_IMPURE_ROOTS = ("subprocess.", "shutil.", "logging.", "socket.", "tempfile.")
+
+#: External calls whose return value may alias an array argument (views
+#: and conditional no-copies) — used for alias tracking, not effects.
+_VIEW_CALLS = {
+    "numpy.asarray", "numpy.ascontiguousarray", "numpy.ravel",
+    "numpy.reshape", "numpy.transpose", "numpy.squeeze",
+    "numpy.atleast_1d", "numpy.atleast_2d", "numpy.broadcast_to",
+}
+
+
+@dataclass
+class PuritySummary:
+    """Serialisable purity facts for one function.
+
+    ``reason`` describes the first *unconditional* impurity (empty when
+    there is none); ``mutates`` lists parameter mutations (observable
+    only to callers passing real objects); ``calls`` records internal
+    call sites with their argument bindings for transitive resolution.
+    """
+
+    reason: str = ""  #: first unconditional impurity, e.g. ``calls print()``
+    line: int = 0  #: line of that impurity (within the function's file)
+    mutates: tuple = ()  #: ``(param, reason, line)`` direct param mutations
+    calls: tuple = ()  #: ``(callee key, line, binding)`` internal call sites
+
+    @property
+    def impure(self) -> bool:
+        """Whether a direct unconditional impurity was found."""
+        return bool(self.reason)
+
+    def to_dict(self) -> dict:
+        """JSON form for the incremental cache."""
+        return {
+            "reason": self.reason,
+            "line": self.line,
+            "mutates": [list(m) for m in self.mutates],
+            "calls": [
+                [key, line, [[p, kind, list(names)] for p, kind, names in binding]]
+                for key, line, binding in self.calls
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PuritySummary":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            reason=data.get("reason", ""),
+            line=int(data.get("line", 0)),
+            mutates=tuple(
+                (str(p), str(r), int(ln)) for p, r, ln in data.get("mutates", ())
+            ),
+            calls=tuple(
+                (
+                    str(key),
+                    int(line),
+                    tuple((str(p), str(kind), tuple(names))
+                          for p, kind, names in binding),
+                )
+                for key, line, binding in data.get("calls", ())
+            ),
+        )
+
+    def key(self):
+        """Hashable identity used for fixpoint change detection."""
+        return (self.reason, self.line, self.mutates, self.calls)
+
+
+class PurityAnalysis:
+    """Direct side-effect detection plus transitive closure helpers."""
+
+    def __init__(self, callgraph, get_summary):
+        self.callgraph = callgraph
+        self.get_summary = get_summary
+
+    def summarize(self, fn, module) -> PuritySummary:
+        """Direct effects of ``fn`` plus the bound internal calls it makes."""
+        finder = _EffectFinder(self, fn, module)
+        finder.run()
+        reason, line = ("", 0)
+        if finder.effects:
+            node, why = finder.effects[0]
+            reason, line = why, getattr(node, "lineno", 0)
+        mutates = tuple(
+            sorted(
+                (param, why, getattr(node, "lineno", 0))
+                for param, (node, why) in finder.mutations.items()
+            )
+        )
+        calls = tuple(
+            sorted(
+                (
+                    key,
+                    getattr(node, "lineno", 0),
+                    tuple(sorted(
+                        (p, kind, tuple(names))
+                        for p, (kind, names) in binding.items()
+                    )),
+                )
+                for node, key, binding in finder.calls
+            )
+        )
+        return PuritySummary(reason=reason, line=line, mutates=mutates, calls=calls)
+
+    def effects_of(self, fn, module):
+        """All observable effects of ``fn`` as ``(node, reason)`` pairs.
+
+        Internal call sites are resolved against callee summaries: an
+        unconditionally impure callee is an effect outright; a callee
+        that (transitively) mutates a parameter is an effect only when
+        this site's binding passes an observable object into it.
+        """
+        finder = _EffectFinder(self, fn, module)
+        finder.run()
+        effects = list(finder.effects)
+        for param in sorted(finder.mutations):
+            node, reason = finder.mutations[param]
+            effects.append((node, reason))
+        for node, key, binding in finder.calls:
+            if key.endswith(":fault_point"):
+                continue
+            chain = self.unconditional_chain(key)
+            if chain is not None:
+                effects.append((node, f"calls impure {chain}"))
+                continue
+            callee_muts = self.mutated_params(key)
+            for cparam in sorted(callee_muts):
+                bound = binding.get(cparam)
+                if bound is None:
+                    continue
+                creason, _ = callee_muts[cparam]
+                kind, names = bound
+                if kind == "params":
+                    named = ", ".join(f"'{q}'" for q in names)
+                    effects.append(
+                        (node, f"passes {named} to {_short(key)}() which {creason}")
+                    )
+                else:
+                    effects.append(
+                        (node, f"passes module-level '{names[0]}' to "
+                               f"{_short(key)}() which {creason}")
+                    )
+        return effects
+
+    def mutated_params(self, key, *, _seen=None) -> dict:
+        """``param -> (reason, line)`` that ``key`` (transitively) mutates.
+
+        A callee's parameter mutation propagates to a caller parameter
+        through the call-site binding; cycles resolve optimistically.
+        """
+        _seen = _seen if _seen is not None else set()
+        if key in _seen:
+            return {}
+        _seen.add(key)
+        summary = self.get_summary("purity", key)
+        if summary is None:
+            return {}
+        out = {param: (reason, line) for param, reason, line in summary.mutates}
+        for callee, line, binding in summary.calls:
+            callee_muts = self.mutated_params(callee, _seen=_seen)
+            if not callee_muts:
+                continue
+            bound = {p: (kind, names) for p, kind, names in binding}
+            for cparam, (creason, _) in callee_muts.items():
+                entry = bound.get(cparam)
+                if entry is None or entry[0] != "params":
+                    continue
+                for q in entry[1]:
+                    out.setdefault(
+                        q,
+                        (f"passes '{q}' to {_short(callee)}() which {creason}",
+                         line),
+                    )
+        return out
+
+    def unconditional_chain(self, key, *, _seen=None) -> str | None:
+        """Why ``key`` is impure for *every* caller, or ``None``.
+
+        Covers direct unconditional effects, transitively impure
+        callees, and module-level objects passed into callee parameters
+        that get mutated.  Cycles are treated as pure (optimistic —
+        consistent with a least fixpoint).
+        """
+        _seen = _seen if _seen is not None else set()
+        if key in _seen:
+            return None
+        _seen.add(key)
+        summary = self.get_summary("purity", key)
+        if summary is None:
+            return None
+        if summary.impure:
+            return f"{_short(key)}() {summary.reason} (line {summary.line})"
+        for callee, line, binding in summary.calls:
+            chain = self.unconditional_chain(callee, _seen=_seen)
+            if chain is not None:
+                return f"{_short(key)}() calls impure {chain}"
+            callee_muts = self.mutated_params(callee)
+            for cparam, kind, names in binding:
+                if kind == "global" and cparam in callee_muts:
+                    creason, _ = callee_muts[cparam]
+                    return (
+                        f"{_short(key)}() passes module-level '{names[0]}' to "
+                        f"{_short(callee)}() which {creason} (line {line})"
+                    )
+        return None
+
+    def impurity_chain(self, key) -> str | None:
+        """Why calling ``key`` with real arguments is observable, or ``None``.
+
+        Used for contract targets, which always receive live objects: an
+        unconditional impurity *or* any (transitive) parameter mutation
+        disqualifies.
+        """
+        chain = self.unconditional_chain(key)
+        if chain is not None:
+            return chain
+        muts = self.mutated_params(key)
+        if muts:
+            param = sorted(muts)[0]
+            reason, line = muts[param]
+            return f"{_short(key)}() {reason} (line {line})"
+        return None
+
+
+class _EffectFinder:
+    """Single-pass walker collecting a function's direct effects."""
+
+    def __init__(self, analysis, fn, module):
+        self.analysis = analysis
+        self.fn = fn
+        self.module = module
+        self.params = set(fn.params)
+        self.effects: list = []  # (node, reason) — unconditional
+        self.mutations: dict = {}  # param -> (node, reason)
+        self.calls: list = []  # (node, callee key, binding dict)
+
+    def run(self) -> None:
+        for stmt in self.fn.node.body:
+            self.visit(stmt)
+
+    def visit(self, node) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested definitions have their own summaries
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            names = ", ".join(node.names)
+            self.effects.append((node, f"declares global/nonlocal {names}"))
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                self.check_store(target)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self.check_store(target)
+        elif isinstance(node, ast.Call):
+            self.check_call(node)
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+
+    def mutate(self, node, param, reason) -> None:
+        """Record a (conditional) parameter mutation, first site wins."""
+        self.mutations.setdefault(param, (node, reason))
+
+    def check_store(self, target) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.check_store(elt)
+            return
+        if not isinstance(target, (ast.Subscript, ast.Attribute)):
+            return  # plain local rebinding is unobservable
+        root = _root_name(target)
+        if root in self.params:
+            self.mutate(target, root, f"mutates parameter '{root}'")
+        elif root is not None:
+            for param in sorted(self.param_derived().get(root, ())):
+                self.mutate(
+                    target, param,
+                    f"mutates parameter '{param}' (through local '{root}')",
+                )
+
+    def write_target(self, node, expr, how) -> None:
+        """An argument position that the callee writes into (``out=``)."""
+        root = _root_name(expr) if expr is not None else None
+        if root is None:
+            return
+        if root in self.params:
+            self.mutate(node, root, f"writes into parameter '{root}' {how}")
+        else:
+            for param in sorted(self.param_derived().get(root, ())):
+                self.mutate(
+                    node, param,
+                    f"writes into parameter '{param}' {how} "
+                    f"(through local '{root}')",
+                )
+
+    def check_call(self, node: ast.Call) -> None:
+        resolved = self.analysis.callgraph.resolve(
+            self.module, node.func, class_name=self.fn.class_name
+        )
+        # out=-style keyword writes into a parameter (or an alias of one).
+        for kw in node.keywords:
+            if kw.arg == "out":
+                self.write_target(node, kw.value, "via out=")
+        if resolved is None:
+            # Mutating method on a parameter (param.append, out.fill, ...).
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+                root = _root_name(func.value)
+                if root in self.params:
+                    self.mutate(
+                        node, root,
+                        f"mutates parameter '{root}' via .{func.attr}()",
+                    )
+                    return
+                derived = self.param_derived().get(root, ()) if root else ()
+                if derived:
+                    for param in sorted(derived):
+                        self.mutate(
+                            node, param,
+                            f"mutates parameter '{param}' via .{func.attr}() "
+                            f"on local '{root}'",
+                        )
+                elif root is None or root not in self.locals_guess():
+                    self.effects.append(
+                        (node, f"calls .{func.attr}() on a non-local object")
+                    )
+            return
+        tag, name = resolved
+        if tag == "builtin":
+            if name in _IMPURE_BUILTINS:
+                self.effects.append((node, f"calls {name}()"))
+            return
+        if tag == "external":
+            if name == "numpy.copyto":
+                self.write_target(
+                    node, node.args[0] if node.args else None, "via np.copyto"
+                )
+                return
+            if name.startswith("os.") and not name.startswith(_PURE_OS_PREFIXES):
+                self.effects.append((node, f"calls {name}()"))
+            elif name.startswith(_IMPURE_ROOTS):
+                self.effects.append((node, f"calls {name}()"))
+            elif name.startswith("random.") or (
+                name.startswith("numpy.random.")
+                and name != "numpy.random.default_rng"
+            ):
+                self.effects.append((node, f"calls {name}() (global RNG state)"))
+            elif name in ("time.sleep", "sys.exit"):
+                self.effects.append((node, f"calls {name}()"))
+            return
+        if tag == "internal":
+            self.calls.append((node, name, self.bind_call(node, name)))
+
+    def bind_call(self, node: ast.Call, key: str) -> dict:
+        """Map callee parameter names to the caller objects passed there."""
+        callee = self.analysis.callgraph.functions.get(key)
+        params = list(callee.params) if callee is not None else []
+        binding: dict = {}
+        offset = 0
+        if (
+            isinstance(node.func, ast.Attribute)
+            and params
+            and params[0] in ("self", "cls")
+        ):
+            offset = 1
+            bound = self.classify(node.func.value)
+            if bound is not None:
+                binding[params[0]] = bound
+        for index, arg in enumerate(node.args):
+            pos = index + offset
+            if pos >= len(params):
+                break
+            bound = self.classify(arg)
+            if bound is not None:
+                binding[params[pos]] = bound
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            bound = self.classify(kw.value)
+            if bound is not None:
+                binding[kw.arg] = bound
+        return binding
+
+    def classify(self, expr):
+        """Binding class of an argument expression.
+
+        ``("params", names)`` — the object may be (an alias of) these
+        caller parameters; ``("global", (name,))`` — a module-level
+        object; ``None`` — fresh/local, unobservable if mutated.
+        """
+        root = _root_name(expr)
+        if root is None:
+            return None
+        if root in self.params:
+            return ("params", (root,))
+        derived = self.param_derived().get(root)
+        if derived:
+            return ("params", tuple(sorted(derived)))
+        if root in self.locals_guess():
+            return None
+        return ("global", (root,))
+
+    # -- alias tracking -----------------------------------------------------
+
+    def param_derived(self) -> dict:
+        """``local -> set of params`` whose object the local may alias.
+
+        A small assignment fixpoint: direct name/attribute/subscript
+        chains alias their root; calls alias the arguments their callee
+        passes through (taint ``passthrough``, or every argument while
+        the callee summary is still unknown); known NumPy view functions
+        alias their array argument.
+        """
+        if hasattr(self, "_derived"):
+            return self._derived
+        rules = []
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Assign):
+                roots = None
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id not in self.params:
+                        if roots is None:
+                            roots = self.alias_roots(node.value)
+                        rules.append((target.id, roots))
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and node.value is not None
+                and isinstance(node.target, ast.Name)
+                and node.target.id not in self.params
+            ):
+                rules.append((node.target.id, self.alias_roots(node.value)))
+        derived: dict = {}
+        changed = True
+        while changed:
+            changed = False
+            for target, roots in rules:
+                sources = set()
+                for root in roots:
+                    if root in self.params:
+                        sources.add(root)
+                    sources |= derived.get(root, set())
+                if not sources <= derived.get(target, set()):
+                    derived[target] = derived.get(target, set()) | sources
+                    changed = True
+        self._derived = derived
+        return derived
+
+    def alias_roots(self, expr) -> set:
+        """Root names whose object the expression's value may alias."""
+        if isinstance(expr, ast.Subscript):
+            # Slice indexing returns a view; fancy (array) indexing
+            # copies.  ``X[cols]`` is a gather, not an alias of ``X``.
+            if _is_slice_index(expr.slice):
+                return self.alias_roots(expr.value)
+            return set()
+        if isinstance(expr, (ast.Name, ast.Attribute, ast.Starred)):
+            root = _root_name(expr)
+            return {root} if root is not None else set()
+        if isinstance(expr, ast.IfExp):
+            return self.alias_roots(expr.body) | self.alias_roots(expr.orelse)
+        if not isinstance(expr, ast.Call):
+            return set()  # literals/arithmetic build fresh objects
+        resolved = self.analysis.callgraph.resolve(
+            self.module, expr.func, class_name=self.fn.class_name
+        )
+        if resolved is not None and resolved[0] == "external":
+            if resolved[1] in _VIEW_CALLS:
+                out = set()
+                for arg in expr.args:
+                    out |= self.alias_roots(arg)
+                return out
+            return set()  # allocators and scalar helpers return fresh objects
+        if resolved is not None and resolved[0] == "internal":
+            key = resolved[1]
+            summary = self.analysis.get_summary("taint", key)
+            callee = self.analysis.callgraph.functions.get(key)
+            params = list(callee.params) if callee is not None else []
+            out = set()
+            if summary is None:
+                for arg in expr.args:
+                    out |= self.alias_roots(arg)
+                for kw in expr.keywords:
+                    out |= self.alias_roots(kw.value)
+                return out
+            offset = 0
+            if (
+                isinstance(expr.func, ast.Attribute)
+                and params
+                and params[0] in ("self", "cls")
+            ):
+                offset = 1
+                if params[0] in summary.passthrough:
+                    out |= self.alias_roots(expr.func.value)
+            for index, arg in enumerate(expr.args):
+                pos = index + offset
+                if pos < len(params) and params[pos] in summary.passthrough:
+                    out |= self.alias_roots(arg)
+            for kw in expr.keywords:
+                if kw.arg in summary.passthrough:
+                    out |= self.alias_roots(kw.value)
+            return out
+        if resolved is None and isinstance(expr.func, ast.Attribute):
+            # x.reshape(...) and friends: the result may view the receiver.
+            return self.alias_roots(expr.func.value)
+        return set()
+
+    def locals_guess(self) -> set:
+        """Names assigned anywhere in the function (cheap local check)."""
+        if not hasattr(self, "_locals"):
+            names: set = set()
+            for node in ast.walk(self.fn.node):
+                if isinstance(node, ast.Assign):
+                    for t in node.targets:
+                        _collect_target_names(t, names)
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    _collect_target_names(node.target, names)
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    _collect_target_names(node.target, names)
+                elif isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        if item.optional_vars is not None:
+                            _collect_target_names(item.optional_vars, names)
+                elif isinstance(node, ast.comprehension):
+                    _collect_target_names(node.target, names)
+            self._locals = names
+        return self._locals
+
+
+def _is_slice_index(index) -> bool:
+    """Whether a subscript index produces a view (contains a slice)."""
+    if isinstance(index, ast.Slice):
+        return True
+    if isinstance(index, ast.Tuple):
+        return any(isinstance(elt, ast.Slice) for elt in index.elts)
+    return False
+
+
+def _collect_target_names(target, names: set) -> None:
+    """Bare names bound by an assignment target (tuples recurse)."""
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _collect_target_names(elt, names)
+    elif isinstance(target, ast.Starred):
+        _collect_target_names(target.value, names)
+
+
+def _root_name(node) -> str | None:
+    while isinstance(node, (ast.Subscript, ast.Attribute, ast.Starred)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _short(key: str) -> str:
+    return key.split(":", 1)[1] if ":" in key else key

@@ -1,0 +1,195 @@
+"""SARIF 2.1.0 output for reprolint findings.
+
+:func:`render_sarif` produces a static-analysis interchange document
+(`SARIF 2.1.0 <https://docs.oasis-open.org/sarif/sarif/v2.1.0/>`_) that
+GitHub code scanning ingests via ``github/codeql-action/upload-sarif``.
+Artifact URIs are emitted repo-relative (posix), matching the rest of the
+reporters, so annotations land on the right files in pull requests.
+
+``jsonschema`` is not a dependency of this project, so
+:func:`validate_sarif` is a hand-rolled structural check against the
+subset of the 2.1.0 schema we actually emit: version/runs layout, tool
+driver + rule descriptors, result/rule cross-references, locations and
+one-based regions, and relative artifact URIs.  It returns problem
+strings rather than raising, so tests can assert emptiness and the CLI
+can fail loudly if the writer regresses.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import REGISTRY
+
+__all__ = ["render_sarif", "render_sarif_json", "validate_sarif", "SARIF_VERSION"]
+
+SARIF_VERSION = "2.1.0"
+
+_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_INFO_URI = "https://github.com/repro/repro/blob/main/docs/ANALYSIS.md"
+
+
+def render_sarif(findings, *, tool_version: str = "1.0") -> dict:
+    """SARIF document (as a dict) for a findings list.
+
+    Rule descriptors cover every code present in the findings — registry
+    metadata when available, a bare descriptor otherwise (``RD001`` parse
+    errors have no registered rule) — and results reference them through
+    ``ruleIndex`` so viewers need no lookups.
+    """
+    findings = sorted(findings)
+    codes = sorted({f.code for f in findings})
+    rule_index = {code: i for i, code in enumerate(codes)}
+    rules = []
+    for code in codes:
+        rule = REGISTRY.get(code)
+        descriptor = {
+            "id": code,
+            "name": rule.name if rule is not None else code.lower(),
+            "shortDescription": {
+                "text": rule.summary if rule is not None else "reprolint finding"
+            },
+        }
+        rules.append(descriptor)
+    results = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.code,
+                "ruleIndex": rule_index[finding.code],
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": finding.path},
+                            "region": {
+                                "startLine": max(1, finding.line),
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": tool_version,
+                        "informationUri": _INFO_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif_json(findings, **kwargs) -> str:
+    """:func:`render_sarif` serialised with a stable layout."""
+    return json.dumps(render_sarif(findings, **kwargs), indent=1, sort_keys=False)
+
+
+def validate_sarif(doc) -> list[str]:
+    """Structural 2.1.0 conformance problems with ``doc`` (empty = valid)."""
+    problems: list[str] = []
+
+    def check(cond: bool, message: str) -> bool:
+        if not cond:
+            problems.append(message)
+        return cond
+
+    if not check(isinstance(doc, dict), "document is not an object"):
+        return problems
+    check(doc.get("version") == SARIF_VERSION, "version must be '2.1.0'")
+    check(isinstance(doc.get("$schema", ""), str), "$schema must be a string")
+    runs = doc.get("runs")
+    if not check(isinstance(runs, list) and runs, "runs must be a non-empty array"):
+        return problems
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        if not check(isinstance(run, dict), f"{where} is not an object"):
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(run.get("tool"), dict) else None
+        if not check(isinstance(driver, dict), f"{where}.tool.driver missing"):
+            continue
+        check(
+            isinstance(driver.get("name"), str) and driver["name"],
+            f"{where}.tool.driver.name must be a non-empty string",
+        )
+        rules = driver.get("rules", [])
+        check(isinstance(rules, list), f"{where}.tool.driver.rules must be an array")
+        rule_ids = []
+        for qi, rule in enumerate(rules if isinstance(rules, list) else ()):
+            rwhere = f"{where}.tool.driver.rules[{qi}]"
+            if check(isinstance(rule, dict), f"{rwhere} is not an object"):
+                if check(isinstance(rule.get("id"), str), f"{rwhere}.id must be a string"):
+                    rule_ids.append(rule["id"])
+                short = rule.get("shortDescription")
+                if short is not None:
+                    check(
+                        isinstance(short, dict) and isinstance(short.get("text"), str),
+                        f"{rwhere}.shortDescription.text must be a string",
+                    )
+        results = run.get("results")
+        if not check(isinstance(results, list), f"{where}.results must be an array"):
+            continue
+        for fi, result in enumerate(results):
+            fwhere = f"{where}.results[{fi}]"
+            if not check(isinstance(result, dict), f"{fwhere} is not an object"):
+                continue
+            rule_id = result.get("ruleId")
+            check(isinstance(rule_id, str), f"{fwhere}.ruleId must be a string")
+            index = result.get("ruleIndex")
+            if index is not None:
+                ok = (
+                    isinstance(index, int)
+                    and 0 <= index < len(rule_ids)
+                    and rule_ids[index] == rule_id
+                )
+                check(ok, f"{fwhere}.ruleIndex does not match its ruleId")
+            message = result.get("message")
+            check(
+                isinstance(message, dict) and isinstance(message.get("text"), str),
+                f"{fwhere}.message.text must be a string",
+            )
+            level = result.get("level")
+            if level is not None:
+                check(
+                    level in ("none", "note", "warning", "error"),
+                    f"{fwhere}.level must be a SARIF level",
+                )
+            for li, loc in enumerate(result.get("locations", ())):
+                lwhere = f"{fwhere}.locations[{li}]"
+                physical = loc.get("physicalLocation") if isinstance(loc, dict) else None
+                if not check(isinstance(physical, dict), f"{lwhere}.physicalLocation missing"):
+                    continue
+                artifact = physical.get("artifactLocation")
+                if check(
+                    isinstance(artifact, dict) and isinstance(artifact.get("uri"), str),
+                    f"{lwhere}.artifactLocation.uri must be a string",
+                ):
+                    uri = artifact["uri"]
+                    check(
+                        not uri.startswith("/") and "://" not in uri and "\\" not in uri,
+                        f"{lwhere}.artifactLocation.uri must be relative posix: {uri!r}",
+                    )
+                region = physical.get("region")
+                if region is not None and check(
+                    isinstance(region, dict), f"{lwhere}.region is not an object"
+                ):
+                    for field in ("startLine", "startColumn", "endLine", "endColumn"):
+                        value = region.get(field)
+                        if value is not None:
+                            check(
+                                isinstance(value, int) and value >= 1,
+                                f"{lwhere}.region.{field} must be a positive integer",
+                            )
+    return problems

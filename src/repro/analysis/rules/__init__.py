@@ -9,8 +9,10 @@ Importing this package registers every rule into
 * :mod:`repro.analysis.rules.numerical` — RD2xx
 * :mod:`repro.analysis.rules.hygiene` — RD3xx, plus RD106 (broad except
   handlers that would swallow resilience-layer control exceptions)
+* :mod:`repro.analysis.rules.dataflow` — RD4xx/RD5xx/RD6xx, the
+  inter-procedural project rules backed by :mod:`repro.analysis.dataflow`
 """
 
-from repro.analysis.rules import determinism, hygiene, numerical, performance
+from repro.analysis.rules import dataflow, determinism, hygiene, numerical, performance
 
-__all__ = ["determinism", "performance", "numerical", "hygiene"]
+__all__ = ["determinism", "performance", "numerical", "hygiene", "dataflow"]

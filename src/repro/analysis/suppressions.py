@@ -8,14 +8,27 @@ Multiple codes are comma-separated (``disable=RD103,RD201``).  Everything
 after ``--`` is the *justification*; the project convention (enforced in
 review, surfaced by :func:`unjustified`) is that every suppression carries
 one.
+
+Decorated definitions get span attribution: a suppression written on any
+line of the declaration header — the first decorator line through the
+``def``/``class`` signature — covers the whole header.  Rules anchor
+function-level findings at the ``def`` line while authors naturally hang
+the comment off the decorator (or vice versa); before
+:func:`expand_decorated_spans` the two could silently miss each other.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 from dataclasses import dataclass
 
-__all__ = ["Suppression", "collect_suppressions", "unjustified"]
+__all__ = [
+    "Suppression",
+    "collect_suppressions",
+    "expand_decorated_spans",
+    "unjustified",
+]
 
 _PATTERN = re.compile(
     r"#\s*reprolint:\s*disable=(?P<codes>[A-Z0-9_,\s]+?)"
@@ -44,6 +57,43 @@ def collect_suppressions(lines) -> dict[int, Suppression]:
         )
         if codes:
             out[number] = Suppression(number, codes, match.group("why") or "")
+    return out
+
+
+def expand_decorated_spans(
+    suppressions: dict[int, Suppression], tree: ast.AST
+) -> dict[int, Suppression]:
+    """Attribute header suppressions to the full decorated-definition span.
+
+    For every decorated ``def``/``class`` the header span runs from the
+    first decorator line to the line before the first body statement.  A
+    suppression on any line of that span is copied to every other line of
+    the span (codes merged where lines already carry one), so a comment on
+    the decorator suppresses a finding anchored at the ``def`` line and
+    vice versa.  Lines outside decorated headers are returned unchanged.
+    """
+    out = dict(suppressions)
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if not node.decorator_list or not node.body:
+            continue
+        start = min(dec.lineno for dec in node.decorator_list)
+        stop = node.body[0].lineno - 1  # header ends before the body
+        span = range(start, stop + 1)
+        in_span = [suppressions[n] for n in span if n in suppressions]
+        if not in_span:
+            continue
+        codes = frozenset().union(*(s.codes for s in in_span))
+        why = "; ".join(sorted({s.justification for s in in_span if s.justification}))
+        for line in span:
+            existing = out.get(line)
+            if existing is not None and existing not in in_span:
+                merged = existing.codes | codes
+                merged_why = existing.justification or why
+                out[line] = Suppression(line, merged, merged_why)
+            else:
+                out[line] = Suppression(line, codes, why)
     return out
 
 

@@ -202,7 +202,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     lint = sub.add_parser(
-        "lint", help="run the reprolint static-analysis pass (rules RD1xx-RD3xx)"
+        "lint",
+        help="run the reprolint static-analysis pass (per-file rules "
+        "RD1xx-RD3xx plus the inter-procedural dataflow rules RD4xx-RD6xx)",
     )
     from repro.analysis.cli import add_lint_arguments
 

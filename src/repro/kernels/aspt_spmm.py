@@ -148,7 +148,7 @@ def spmm_tiled(
     X = check_dense("X", X, rows=tiled.original.n_cols, dtype=None)
     K = X.shape[1]
     if out is None:
-        Y = np.zeros((tiled.original.n_rows, K), dtype=np.float64)
+        Y = np.zeros((tiled.original.n_rows, K), dtype=np.float64)  # reprolint: disable=RD501 -- out= buffers are float64 by contract (check_out rejects anything else), so both branches agree
     else:
         Y = check_out("out", out, rows=tiled.original.n_rows, cols=K)
         Y[:] = 0.0

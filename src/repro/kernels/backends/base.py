@@ -295,7 +295,7 @@ class KernelBackend:
         X = check_dense("X", X, rows=csr.n_cols, dtype=None)
         K = X.shape[1]
         if out is None:
-            out = np.empty((csr.n_rows, K), dtype=np.float64)
+            out = np.empty((csr.n_rows, K), dtype=np.float64)  # reprolint: disable=RD501 -- out= buffers are float64 by contract (check_out rejects anything else), so both branches agree
         else:
             out = check_out("out", out, rows=csr.n_rows, cols=K)
         if state is None:
@@ -368,7 +368,7 @@ class KernelBackend:
         X = check_dense("X", X, rows=tiled.original.n_cols, dtype=None)
         K = X.shape[1]
         if out is None:
-            Y = np.zeros((tiled.original.n_rows, K), dtype=np.float64)
+            Y = np.zeros((tiled.original.n_rows, K), dtype=np.float64)  # reprolint: disable=RD501 -- out= buffers are float64 by contract (check_out rejects anything else), so both branches agree
         else:
             Y = check_out("out", out, rows=tiled.original.n_rows, cols=K)
             Y[:] = 0.0

@@ -142,7 +142,7 @@ def spmm(
     X = check_dense("X", X, rows=csr.n_cols, dtype=None)
     K = X.shape[1]
     if out is None:
-        out = np.zeros((csr.n_rows, K), dtype=np.float64)
+        out = np.zeros((csr.n_rows, K), dtype=np.float64)  # reprolint: disable=RD501 -- out= buffers are float64 by contract (check_out rejects anything else), so both branches agree
     else:
         out = check_out("out", out, rows=csr.n_rows, cols=K)
         out[:] = 0.0
@@ -186,7 +186,7 @@ def spmm_blocked(
     X = check_dense("X", X, rows=csr.n_cols, dtype=None)
     K = X.shape[1]
     if out is None:
-        Y = np.zeros((csr.n_rows, K), dtype=np.float64)
+        Y = np.zeros((csr.n_rows, K), dtype=np.float64)  # reprolint: disable=RD501 -- out= buffers are float64 by contract (check_out rejects anything else), so both branches agree
     else:
         Y = check_out("out", out, rows=csr.n_rows, cols=K)
         Y[:] = 0.0

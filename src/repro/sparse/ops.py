@@ -108,7 +108,7 @@ def extract_rows(csr: CSRMatrix, rows: np.ndarray) -> CSRMatrix:
         values = csr.values[gather]
     else:
         colidx = np.empty(0, dtype=np.int64)
-        values = np.empty(0, dtype=np.float64)
+        values = np.empty(0, dtype=csr.values.dtype)
     return CSRMatrix((rows.size, csr.n_cols), rowptr, colidx, values)
 
 

@@ -1,0 +1,107 @@
+"""Clean counterpart of ``flagged_dataflow.py`` — nothing may fire.
+
+Every section mirrors a flagged case with the sanctioned pattern:
+sorted iteration before digests, seeded RNG, dtype-threading
+allocations, pure validators, and effects only *after* fault points (or
+on branches that never reach one).
+"""
+
+import numpy as np
+
+from repro.util.hashing import stable_digest
+
+
+# -- RD401 counterparts ---------------------------------------------------
+
+def fingerprint_sorted(items):
+    ordered = sorted(set(items))  # sorted() strips the order taint
+    return stable_digest(ordered)
+
+
+def digest_static(parts):
+    import hashlib
+
+    h = hashlib.sha256()
+    h.update(repr(list(parts)).encode())
+    return h.hexdigest()
+
+
+# -- RD402 counterparts ---------------------------------------------------
+
+def kernel_with_seeded_rng(values, seed=0):
+    rng = np.random.default_rng(seed)  # seeded: reproducible
+    noise = rng.normal(size=values.shape)
+    return values + noise
+
+
+# -- RD501 counterparts ---------------------------------------------------
+
+def accumulate_preserving(x):
+    acc = np.zeros(x.shape, dtype=x.dtype)  # threads the input dtype
+    acc = acc + x
+    return acc
+
+
+def widen_explicitly(x):
+    lo = x.astype(np.float32)
+    return lo.astype(np.float64) * 2.0  # announced, not silent
+
+
+# -- RD601 counterparts ---------------------------------------------------
+
+def quiet_validator(plan):
+    return plan is not None  # reads only
+
+
+def checked(*contracts):
+    def wrap(fn):
+        return fn
+
+    return wrap
+
+
+def validates(*names):
+    return names
+
+
+@checked(quiet_validator)
+def build(plan):
+    return plan
+
+
+class Plan:
+    def validate(self):
+        return bool(self)  # pure
+
+
+@checked(validates("plan"))
+def run(plan):
+    return plan
+
+
+# -- RD602 counterparts ---------------------------------------------------
+
+def fault_point(site):
+    return None
+
+
+def safe_stage(out, x):
+    fault_point("stage.safe")  # probe first, effects after
+    out[0] = x
+    return out
+
+
+def counting_stage(stats, out, x):
+    if out is None:
+        stats["misses"] = 1  # early-return branch: never reaches the fault
+        return None
+    fault_point("stage.counting")
+    out[0] = x
+    return out
+
+
+def local_scratch_stage(x):
+    scratch = np.zeros(3)
+    scratch[0] = x  # local mutation is unobservable
+    fault_point("stage.local")
+    return scratch

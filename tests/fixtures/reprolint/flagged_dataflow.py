@@ -1,0 +1,109 @@
+"""Flagged fixture for the RD4xx-RD6xx dataflow rules.
+
+Linted under ``repro/kernels/fixture.py`` so every dataflow scope
+applies (taint, dtype, purity, and the kernel-return RD402 sink).  Each
+section plants exactly the violations the tests assert on.
+"""
+
+import time
+
+import numpy as np
+
+from repro.util.hashing import stable_digest
+
+
+# -- RD401: nondeterministic values reaching content hashes ---------------
+
+def fingerprint_with_clock(parts):
+    stamp = time.time()  # the source
+    return stable_digest(parts, stamp)  # RD401: clock into content hash
+
+
+def digest_set_order(items):
+    import hashlib
+
+    h = hashlib.sha256()
+    ordered = [k for k in set(items)]
+    h.update(repr(ordered).encode())  # RD401: set order into digest
+    return h.hexdigest()
+
+
+# -- RD402: nondeterministic kernel outputs -------------------------------
+
+def kernel_with_jitter(values):
+    rng = np.random.default_rng()  # unseeded
+    noise = rng.normal(size=values.shape)
+    return values + noise  # RD402: kernel output depends on RNG
+
+
+def helper_clock():
+    return time.perf_counter()
+
+
+def kernel_with_helper_clock(values):
+    scale = helper_clock()  # taint through an intra-file call
+    return values * scale  # RD402: kernel output depends on the clock
+
+
+# -- RD501: silent float32 -> float64 upcasts -----------------------------
+
+def accumulate(x):
+    acc = np.zeros(x.shape)  # implicit float64 (no dtype=)
+    acc = acc + x  # RD501: dtype-preserving param meets hard float64
+    return acc
+
+
+def widen_constant(x):
+    lo = x.astype(np.float32)
+    hi = np.float64(2.0)
+    return lo * hi  # RD501: known float32 meets hard float64
+
+
+# -- RD601: impure contract targets ---------------------------------------
+
+_CALLS = []
+
+
+def noisy_validator(plan):
+    _CALLS.append(plan)  # mutates module state
+    return True
+
+
+def checked(*contracts):
+    def wrap(fn):
+        return fn
+
+    return wrap
+
+
+def validates(*names):
+    return names
+
+
+@checked(noisy_validator)
+def build(plan):
+    return plan
+
+
+class Plan:
+    def validate(self):
+        self.checked = True  # RD601: validate mutates the plan
+        return True
+
+
+@checked(validates("plan"))
+def run(plan):
+    return plan
+
+
+# -- RD602: observable effects before fault points ------------------------
+
+def fault_point(site):
+    return None
+
+
+def unsafe_stage(out, x):
+    out[0] = x  # observable before the fault
+    fault_point("stage.unsafe")  # RD602
+    out[1] = x
+    return out

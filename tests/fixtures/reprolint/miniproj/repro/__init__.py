@@ -1,0 +1,2 @@
+"""Mini-project fixture: a fake ``repro`` package for inter-procedural
+dataflow tests (the directory name anchors ``module_rel`` scoping)."""

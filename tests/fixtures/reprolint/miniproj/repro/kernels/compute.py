@@ -1,0 +1,37 @@
+"""Where the inter-procedural findings surface: every violation here
+needs a fact from ``helpers``/``hashing`` to be derivable."""
+
+import numpy as np
+
+from repro.kernels.helpers import alloc_accumulator, bump, jitter, scale
+from repro.util.hashing import stable_digest
+
+
+def plan_key(parts):
+    stamp = jitter()  # tainted by the callee's clock read
+    return stable_digest(parts, stamp)  # RD401 across two call edges
+
+
+def noisy_output(values):
+    return scale(values, jitter())  # RD402: taint through passthrough params
+
+
+def accumulate(x):
+    acc = alloc_accumulator(x.shape)  # hard float64 from the callee
+    return acc + x  # RD501: preserving param meets the callee's default
+
+
+def fault_point(site):
+    return None
+
+
+def staged(counters, x):
+    bump(counters, "calls")  # callee mutates our parameter
+    fault_point("compute.staged")  # RD602: the bump is observable
+    return x
+
+
+def staged_fresh(x):
+    bump({}, "calls")  # fresh dict: the callee mutation is invisible
+    fault_point("compute.fresh")
+    return x

@@ -1,0 +1,22 @@
+"""Leaf helpers: the taint source, the dtype leaf, and the impure callee
+live one module away from where the findings surface."""
+
+import time
+
+import numpy as np
+
+
+def jitter():
+    return time.perf_counter()  # nondeterminism enters here
+
+
+def scale(x, factor):
+    return x * factor  # passthrough: taint rides through both params
+
+
+def alloc_accumulator(shape):
+    return np.zeros(shape)  # implicit float64 leaks across the call
+
+
+def bump(counters, key):
+    counters[key] = counters.get(key, 0) + 1  # mutates its parameter

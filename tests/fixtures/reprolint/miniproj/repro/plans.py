@@ -1,0 +1,29 @@
+"""Contract targets whose (im)purity is only visible through callees."""
+
+from repro.kernels.helpers import bump
+
+
+def checked(*contracts):
+    def wrap(fn):
+        return fn
+
+    return wrap
+
+
+def audit(plan):
+    bump(plan, "audited")  # impure: mutates the plan via the callee
+
+
+def inspect(plan):
+    bump({}, "inspected")  # pure: the callee mutates a fresh local dict
+    return plan
+
+
+@checked(audit)
+def build(plan):  # RD601: audit() transitively mutates its argument
+    return plan
+
+
+@checked(inspect)
+def assemble(plan):  # clean: inspect() is observably pure
+    return plan

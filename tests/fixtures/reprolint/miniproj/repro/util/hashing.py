@@ -1,0 +1,5 @@
+"""The fixture's hash sink module (matches the real sink table entry)."""
+
+
+def stable_digest(*parts):
+    return "".join(repr(p) for p in parts)
