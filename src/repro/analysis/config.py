@@ -63,8 +63,13 @@ DEFAULT_SCOPES: dict[str, tuple[str, ...]] = {
     # RD106/RD303 apply to library code only...
     "library-paths": ("repro",),
     # RD106 exemption: the resilience layer itself is where broad catches
-    # are the mechanism (fault translation, quarantine, journalling).
-    "resilience-exempt-paths": ("repro/resilience",),
+    # are the mechanism (fault translation, quarantine, journalling), and
+    # the serve layer's connection loop must survive anything a request
+    # raises (the catch converts it to a typed error response).
+    "resilience-exempt-paths": ("repro/resilience", "repro/serve"),
+    # RD108: async server code where a blocking call stalls every
+    # connection sharing the event loop.
+    "async-blocking-paths": ("repro/serve",),
     # ...and is exempt where printing *is* the job (CLI front ends).
     "print-exempt-paths": ("repro/cli.py", "repro/analysis/cli.py"),
     # RD304: modules containing repro CLI handler functions.

@@ -6,6 +6,9 @@ Subcommands::
     repro run       [--scale S] [--k 512 1024] [--out results.json]
                     [--resume] [--stage-deadline S]  # crash-safe, resumable
     repro doctor    [--plan-cache-dir DIR] [--checkpoint PATH] [--heal]
+                    [--serve ADDR]                   # probe a running server
+    repro serve     [--port P | --unix-socket PATH] [--max-inflight N]
+                    [--quota-rate R] [--slo-p95 S]   # the SpMM service
     repro table     {1,2,3,4} --records results.json
     repro figure    {8,9,10,11,12} --records results.json [--k K]
     repro metis     [--scale S] [--k K]
@@ -134,6 +137,83 @@ def build_parser() -> argparse.ArgumentParser:
         "--heal", action="store_true",
         help="restore quarantined plan-cache entries whose checksums "
         "still verify",
+    )
+    dr.add_argument(
+        "--serve", metavar="ADDR", default=None, dest="serve_address",
+        help="probe a running `repro serve` instance (host:port or UNIX "
+        "socket path): pool occupancy, quota state, breaker status",
+    )
+
+    sv = sub.add_parser(
+        "serve", help="run the fault-tolerant multi-tenant SpMM service"
+    )
+    sv.add_argument("--host", default="127.0.0.1", help="TCP listen host")
+    sv.add_argument("--port", type=int, default=7077, help="TCP listen port (0 = OS-assigned)")
+    sv.add_argument(
+        "--unix-socket", metavar="PATH", default=None,
+        help="listen on a UNIX domain socket instead of TCP",
+    )
+    sv.add_argument(
+        "--pool-sessions", type=int, default=8,
+        help="warm kernel sessions kept resident (LRU beyond this)",
+    )
+    sv.add_argument(
+        "--pool-shards", type=int, default=4, help="session-pool lock shards"
+    )
+    sv.add_argument(
+        "--workers", type=int, default=2,
+        help="threads executing plan builds and multiplies",
+    )
+    sv.add_argument(
+        "--max-inflight", type=int, default=16,
+        help="admission bound; excess requests get rejected_overload",
+    )
+    sv.add_argument(
+        "--quota-rate", type=float, default=100.0,
+        help="per-tenant token-bucket refill rate (requests/second)",
+    )
+    sv.add_argument(
+        "--quota-burst", type=float, default=50.0,
+        help="per-tenant token-bucket burst capacity",
+    )
+    sv.add_argument(
+        "--default-deadline", type=float, metavar="SECONDS", default=None,
+        help="deadline for requests that do not carry deadline_s",
+    )
+    sv.add_argument(
+        "--shed-depths", type=int, nargs="+", default=[6, 10, 14],
+        help="in-flight depths at which requests shed one ladder rung each",
+    )
+    sv.add_argument(
+        "--slo-p95", type=float, metavar="SECONDS", default=None,
+        help="p95 latency SLO; exceeding it sheds one extra rung",
+    )
+    sv.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive compile failures that trip the JIT circuit breaker",
+    )
+    sv.add_argument(
+        "--breaker-reset", type=float, metavar="SECONDS", default=30.0,
+        help="open interval before the breaker half-opens",
+    )
+    sv.add_argument(
+        "--backend", default="numpy", metavar="NAME",
+        help="compiled kernel backend for served multiplies",
+    )
+    sv.add_argument(
+        "--panel-height", type=int, default=32, help="ASpT panel height for plans"
+    )
+    sv.add_argument(
+        "--chunk-k", type=int, default=64,
+        help="K-chunk width of the served multiplies (deadline poll grain)",
+    )
+    sv.add_argument(
+        "--plan-cache-dir", metavar="DIR", default=None,
+        help="persistent plan-store directory shared across restarts",
+    )
+    sv.add_argument(
+        "--drain-timeout", type=float, metavar="SECONDS", default=30.0,
+        help="grace period for in-flight requests on SIGTERM/drain",
     )
 
     t = sub.add_parser("table", help="print a paper table from saved records")
@@ -395,9 +475,41 @@ def _cmd_doctor(args) -> int:
         cache_dir=args.plan_cache_dir,
         checkpoint=args.checkpoint,
         heal=args.heal,
+        serve_address=args.serve_address,
     )
     print(text)
     return 1 if problems else 0
+
+
+@cli_handler("serve")
+def _cmd_serve(args) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix_socket,
+        pool_sessions=args.pool_sessions,
+        pool_shards=args.pool_shards,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        default_deadline_s=args.default_deadline,
+        shed_depths=tuple(args.shed_depths),
+        slo_p95_s=args.slo_p95,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
+        backend=args.backend,
+        panel_height=args.panel_height,
+        chunk_k=args.chunk_k,
+        plan_cache_dir=args.plan_cache_dir,
+        drain_timeout_s=args.drain_timeout,
+    )
+    where = config.unix_path or f"{config.host}:{config.port}"
+    print(f"repro serve: listening on {where} (SIGTERM or the drain op stops it)")
+    run_server(config)
+    return 0
 
 
 @cli_handler("table")

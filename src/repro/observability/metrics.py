@@ -40,6 +40,19 @@ Instrument catalogue (see ``docs/OBSERVABILITY.md``):
 ``gpu.shm_bytes``                bytes staged through shared memory
 ``clustering.pairs_scored``      similarity evaluations during clustering
 ``clustering.heap_requeues``     stale heap entries re-scored
+``retry.sleep_s``                histogram of seconds slept between retries
+``serve.requests/errors``        protocol requests handled / answered error
+``serve.admitted``               requests past admission control
+``serve.rejected_overload``      rejections at the in-flight bound
+``serve.rejected_quota``         rejections by a tenant token bucket
+``serve.in_flight``              gauge of admitted requests in flight
+``serve.pool_hit/miss/evict``    warm-session pool traffic
+``serve.pool_size/pool_pinned``  gauges of resident / serving sessions
+``serve.shed_degraded``          requests served below the full rung
+``serve.rung``                   gauge of the last-planned ladder rung
+``serve.breaker_trip``           compile circuit-breaker open transitions
+``serve.coalesced``              requests riding a coalesced batch
+``serve.latency_s``              histogram of admitted spmm latency
 =============================== ==========================================
 """
 

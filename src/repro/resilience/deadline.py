@@ -38,12 +38,17 @@ class Deadline:
     >>> d.check("cluster1")  # no-op while budget remains
     """
 
-    __slots__ = ("_t_end", "budget_s", "_clock")
+    __slots__ = ("_t_end", "budget_s", "_clock", "_expired")
 
     def __init__(self, t_end: float, budget_s: float, clock=time.monotonic) -> None:
         self._t_end = float(t_end)
         self.budget_s = float(budget_s)
         self._clock = clock
+        # Latched on first observation: an expired deadline never
+        # un-expires, even when the injected clock moves backwards (the
+        # transition is monotone False -> True, so the unlocked write is
+        # race-free for every reader).
+        self._expired = False
 
     @classmethod
     def after(cls, seconds: float, *, clock=time.monotonic) -> "Deadline":
@@ -58,8 +63,10 @@ class Deadline:
         return self._t_end - self._clock()
 
     def expired(self) -> bool:
-        """Whether the budget is spent."""
-        return self._clock() >= self._t_end
+        """Whether the budget is spent (latched: never un-expires)."""
+        if not self._expired and self._clock() >= self._t_end:
+            self._expired = True
+        return self._expired
 
     def check(self, stage: str = "") -> None:
         """Raise :class:`TimeoutExceeded` when expired; no-op otherwise.
@@ -68,7 +75,7 @@ class Deadline:
         failure — and the degradation-ladder provenance derived from it
         — says *where* the budget went.
         """
-        if self._clock() >= self._t_end:
+        if self.expired():
             label = stage or "stage"
             raise TimeoutExceeded(
                 f"{label} exceeded its {self.budget_s:g}s deadline",

@@ -66,6 +66,14 @@ def _backend_compile_fault() -> Exception:
     return BackendUnavailable("injected fault: backend kernel compile failure")
 
 
+def _pool_evict_fault() -> Exception:
+    return ReproIOError("injected fault: session teardown failed during eviction")
+
+
+def _accept_fault() -> Exception:
+    return ReproIOError("injected fault: connection dropped at accept")
+
+
 #: Registered injection sites and the exception each one raises.  The
 #: sites live at the real failure surfaces: adding a site means adding a
 #: ``fault_point(...)`` call in the production module it names.
@@ -78,6 +86,8 @@ FAULT_SITES: dict = {
     "workspace.take": _pool_fault,
     "session.run": _pool_fault,
     "backend.compile": _backend_compile_fault,
+    "serve.pool_evict": _pool_evict_fault,
+    "serve.accept": _accept_fault,
 }
 
 #: The active injector (``None`` = injection disabled, the production

@@ -3,18 +3,29 @@
 Dataset reads and plan-store IO sit on network filesystems and shared
 caches in the production-scale deployment; a single ``EIO`` or ``EAGAIN``
 there must not abort a 1084-matrix sweep.  :func:`retry_io` retries the
-operation a bounded number of times with exponential backoff, while
-*non-transient* errors — missing files, permission problems, paths that
-are directories — fail immediately (retrying cannot fix them and only
-adds latency).
+operation a bounded number of times with exponentially growing, *fully
+jittered* backoff, while *non-transient* errors — missing files,
+permission problems, paths that are directories — fail immediately
+(retrying cannot fix them and only adds latency).
 
-The sleeper is injectable so chaos tests run at full speed, and the
-backoff sequence is deterministic (``backoff_s * 2**attempt``, no
-jitter) so retry timing never perturbs reproducibility.
+Full jitter (sleep a uniform fraction of the exponential ceiling) is the
+standard cure for retry synchronisation: when many workers hit the same
+shared-cache hiccup simultaneously, unjittered exponential backoff has
+them all retry at the same instants and collide again.  The jitter here
+is **deterministic** — derived from BLAKE2b over ``(label, attempt,
+sequence)`` exactly like the fault-injection streams, never from
+:mod:`random` — so a chaos run's retry timing is still exactly
+reproducible and the library RNGs are untouched.  Pass ``jitter=0.0``
+for the legacy fixed schedule.
+
+The sleeper is injectable so chaos tests run at full speed; every real
+delay is recorded on the ``retry.sleep_s`` histogram.
 """
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import time
 
 from repro.observability.metrics import METRICS
@@ -32,6 +43,22 @@ NON_TRANSIENT_OS_ERRORS: tuple = (
     PermissionError,
 )
 
+#: Process-wide retry sequence number: makes successive retry *bursts*
+#: of the same label draw different jitter, while a fixed call sequence
+#: still reproduces exactly.
+_SEQ = itertools.count()
+
+# Sub-10ms buckets matter here: the default backoff ceiling is 80 ms.
+_SLEEP_BUCKETS = (0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
+
+
+def _jitter_fraction(label: str, attempt: int, seq: int) -> float:
+    """Deterministic uniform in ``[0, 1)`` for one backoff draw."""
+    digest = hashlib.blake2b(
+        f"{label}:{attempt}:{seq}".encode("utf-8", "replace"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") / 2.0**64
+
 
 def retry_io(
     fn,
@@ -41,6 +68,7 @@ def retry_io(
     label: str = "",
     retry_on: tuple = (OSError,),
     sleep=time.sleep,
+    jitter: float = 1.0,
 ):
     """Call ``fn()``; retry transient failures up to ``attempts`` times.
 
@@ -51,16 +79,23 @@ def retry_io(
     attempts:
         Total tries (``1`` disables retrying).
     backoff_s:
-        Base backoff; try ``i`` (0-based) sleeps ``backoff_s * 2**i``
-        after failing, so defaults cost at most ~60 ms of waiting.
+        Base backoff; try ``i`` (0-based) waits up to
+        ``backoff_s * 2**i`` after failing, so defaults cost at most
+        ~60 ms of waiting.
     label:
-        Operation name for the retry log line (e.g. the path).
+        Operation name for the retry log line (e.g. the path); also keys
+        the deterministic jitter stream.
     retry_on:
         Exception types considered potentially transient.  Members of
         :data:`NON_TRANSIENT_OS_ERRORS` are *always* re-raised
         immediately, even when they match ``retry_on``.
     sleep:
         Injectable sleeper (chaos tests pass a no-op).
+    jitter:
+        Fraction of each delay drawn uniformly (full jitter): the actual
+        sleep is ``ceiling * (1 - jitter + jitter * u)`` for a
+        deterministic ``u`` in ``[0, 1)``.  ``1.0`` (default) is classic
+        full jitter; ``0.0`` restores the fixed exponential schedule.
 
     Returns
     -------
@@ -69,6 +104,8 @@ def retry_io(
     """
     if attempts < 1:
         raise ValueError(f"attempts must be >= 1, got {attempts}")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError(f"jitter must be in [0, 1], got {jitter}")
     for attempt in range(attempts):
         try:
             return fn()
@@ -80,7 +117,11 @@ def retry_io(
             METRICS.counter(
                 "resilience.retry", "transient-IO retry attempts"
             ).inc()
-            delay = backoff_s * (2.0**attempt)
+            ceiling = backoff_s * (2.0**attempt)
+            delay = ceiling
+            if jitter > 0.0 and ceiling > 0.0:
+                u = _jitter_fraction(label, attempt, next(_SEQ))
+                delay = ceiling * (1.0 - jitter + jitter * u)
             _log.warning(
                 "retrying %s after %s: %s (attempt %d/%d, backoff %.3fs)",
                 label or "operation",
@@ -91,5 +132,10 @@ def retry_io(
                 delay,
             )
             if delay > 0:
+                METRICS.histogram(
+                    "retry.sleep_s",
+                    "seconds slept between IO retry attempts",
+                    bounds=_SLEEP_BUCKETS,
+                ).observe(delay)
                 sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover

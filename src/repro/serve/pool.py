@@ -1,0 +1,220 @@
+"""Sharded, bounded pool of warm :class:`~repro.kernels.KernelSession`.
+
+The serving economics of the paper live here: a plan build costs orders
+of magnitude more than a multiply, so the server keeps sessions (pinned
+plan + compiled artifact + scratch) warm across requests, keyed by the
+matrix fingerprint *and* the degradation-ladder rung the plan was built
+at (a shed request must never be served a weaker plan later without its
+provenance saying so, nor a degraded session outlive the pressure that
+created it under a full-rung key).
+
+Robustness properties:
+
+* **bounded** — at most ``capacity`` sessions across ``shards`` shards;
+  inserting past the bound evicts least-recently-used entries;
+* **in-flight pinning** — an entry serving a request carries a non-zero
+  refcount and is never evicted, however stale; the pool may
+  transiently exceed its bound rather than yank a session mid-multiply;
+* **instrumented** — ``serve.pool_hit`` / ``serve.pool_miss`` /
+  ``serve.pool_evict`` counters plus ``serve.pool_size`` /
+  ``serve.pool_pinned`` gauges feed the health endpoint;
+* **chaos-covered** — eviction crosses the ``serve.pool_evict`` fault
+  site; an injected eviction fault is absorbed (counted as
+  ``serve.pool_evict_fault``), never propagated into a request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+from repro.errors import ReproError
+from repro.observability.metrics import METRICS
+from repro.resilience.faults import fault_point
+
+__all__ = ["PooledSession", "SessionPool"]
+
+
+class PooledSession:
+    """One warm pool entry: a session plus its serving metadata."""
+
+    __slots__ = ("key", "session", "rung", "provenance", "backend", "degraded", "refs")
+
+    def __init__(self, key, session, *, rung, provenance, backend, degraded):
+        self.key = key
+        self.session = session
+        self.rung = rung
+        self.provenance = tuple(provenance)
+        self.backend = backend
+        self.degraded = bool(degraded)
+        self.refs = 0  # guarded by the owning shard's lock
+
+
+class _Shard:
+    __slots__ = ("entries", "lock")
+
+    def __init__(self):
+        self.entries: OrderedDict = OrderedDict()
+        self.lock = threading.Lock()
+
+
+class SessionPool:
+    """LRU session cache with in-flight pinning (see module docstring).
+
+    The pool is written to from executor threads and read by the event
+    loop's health endpoint, so every shard carries its own lock; the
+    shard index is derived from the key digest, keeping unrelated
+    fingerprints contention-free.
+    """
+
+    def __init__(self, capacity: int = 8, shards: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.capacity = int(capacity)
+        self._shards = [_Shard() for _ in range(int(shards))]
+        # Per-shard bound; ceil so shards * bound >= capacity.
+        self._shard_capacity = -(-self.capacity // len(self._shards))
+        self._hits = METRICS.counter(
+            "serve.pool_hit", "warm-session pool hits"
+        )
+        self._misses = METRICS.counter(
+            "serve.pool_miss", "warm-session pool misses"
+        )
+        self._evicts = METRICS.counter(
+            "serve.pool_evict", "warm sessions evicted (LRU, unpinned only)"
+        )
+        self._evict_faults = METRICS.counter(
+            "serve.pool_evict_fault", "absorbed faults during session eviction"
+        )
+        self._size = METRICS.gauge("serve.pool_size", "warm sessions resident")
+        self._pinned = METRICS.gauge(
+            "serve.pool_pinned", "warm sessions currently serving requests"
+        )
+
+    def _shard_for(self, key: str) -> _Shard:
+        # BLAKE2b, not hash(): shard placement (and therefore eviction
+        # order and fault-site arrival order under chaos) must not vary
+        # with PYTHONHASHSEED.
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=4).digest()
+        return self._shards[int.from_bytes(digest, "little") % len(self._shards)]
+
+    # ------------------------------------------------------------------
+    def pin(self, key: str) -> PooledSession | None:
+        """Look up and pin a warm entry (``None`` on miss).
+
+        A pinned entry cannot be evicted until :meth:`unpin` releases it;
+        callers pair the two in try/finally around the multiply.
+        """
+        shard = self._shard_for(key)
+        with shard.lock:
+            entry = shard.entries.get(key)
+            if entry is None:
+                self._misses.inc()
+                return None
+            shard.entries.move_to_end(key)
+            entry.refs += 1
+        self._hits.inc()
+        self._pinned.add(1)
+        return entry
+
+    def unpin(self, entry: PooledSession) -> None:
+        """Release one pin taken by :meth:`pin` or :meth:`put`."""
+        shard = self._shard_for(entry.key)
+        with shard.lock:
+            if entry.refs < 1:
+                raise AssertionError(f"unpin without pin on {entry.key!r}")
+            entry.refs -= 1
+        self._pinned.add(-1)
+
+    def put(self, key: str, session, *, rung, provenance, backend, degraded) -> PooledSession:
+        """Insert a freshly built session, returned already pinned.
+
+        When two builders race on the same key the first insert wins and
+        the loser's session is discarded (the returned entry is always
+        the resident one).  Inserting past the shard bound evicts LRU
+        entries with zero refs; pinned entries survive, so the pool can
+        transiently overflow under pressure rather than break an
+        in-flight multiply.
+        """
+        made = PooledSession(
+            key, session, rung=rung, provenance=provenance,
+            backend=backend, degraded=degraded,
+        )
+        shard = self._shard_for(key)
+        evicted = []
+        with shard.lock:
+            resident = shard.entries.get(key)
+            if resident is not None:
+                shard.entries.move_to_end(key)
+                resident.refs += 1
+                entry = resident
+            else:
+                made.refs = 1
+                shard.entries[key] = made
+                entry = made
+                # LRU scan from the cold end; skip pinned entries.
+                while len(shard.entries) > self._shard_capacity:
+                    victim_key = next(
+                        (k for k, e in shard.entries.items() if e.refs == 0),
+                        None,
+                    )
+                    if victim_key is None:
+                        break  # everything pinned: transient overflow
+                    evicted.append(shard.entries.pop(victim_key))
+        for victim in evicted:
+            self._evict(victim)
+        self._pinned.add(1)
+        self._size.set(len(self))
+        return entry
+
+    def _evict(self, victim: PooledSession) -> None:
+        """Drop one evicted session; an injected fault here is absorbed."""
+        self._evicts.inc()
+        try:
+            fault_point("serve.pool_evict")
+            victim.session.close()
+        except ReproError:
+            # Eviction is best-effort cleanup: the entry is already out
+            # of the table, a failure must never surface into a request.
+            self._evict_faults.inc()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(shard.entries) for shard in self._shards)
+
+    def occupancy(self) -> dict:
+        """Health-endpoint snapshot: per-shard entries and pin counts."""
+        shards = []
+        for shard in self._shards:
+            with shard.lock:
+                shards.append(
+                    {
+                        "entries": len(shard.entries),
+                        "pinned": sum(1 for e in shard.entries.values() if e.refs),
+                        "keys": [
+                            {"key": k, "rung": e.rung, "refs": e.refs,
+                             "backend": e.backend}
+                            for k, e in shard.entries.items()
+                        ],
+                    }
+                )
+        return {
+            "capacity": self.capacity,
+            "entries": sum(s["entries"] for s in shards),
+            "pinned": sum(s["pinned"] for s in shards),
+            "shards": shards,
+        }
+
+    def clear(self) -> None:
+        """Evict every unpinned entry (tests and drain shutdown)."""
+        for shard in self._shards:
+            evicted = []
+            with shard.lock:
+                for key in [k for k, e in shard.entries.items() if e.refs == 0]:
+                    evicted.append(shard.entries.pop(key))
+            for victim in evicted:
+                self._evict(victim)
+        self._size.set(len(self))

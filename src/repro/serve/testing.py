@@ -1,0 +1,100 @@
+"""Test harness: run a :class:`~repro.serve.SpmmServer` on a thread.
+
+The test suite has no async test runner, so the server's event loop
+lives on a daemon thread and tests talk to it over real sockets with the
+blocking :class:`~repro.serve.ServeClient` — which also means every test
+exercises the genuine wire path, not an in-process shortcut.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+
+from repro.errors import ReproError
+from repro.serve.config import ServeConfig
+from repro.serve.server import SpmmServer
+
+__all__ = ["ServerThread"]
+
+
+class ServerThread:
+    """Own a server + event loop on a background thread.
+
+    Usage::
+
+        with ServerThread(ServeConfig(port=0)) as srv:
+            with ServeClient(srv.address) as client:
+                ...
+
+    ``port=0`` is recommended: the OS-assigned port is read back after
+    startup, so parallel test processes never collide.
+    """
+
+    def __init__(self, config: ServeConfig | None = None, *, clock=None) -> None:
+        self.config = config or ServeConfig(port=0)
+        self._clock = clock
+        self.server: SpmmServer | None = None
+        self._loop = None
+        self._ready = threading.Event()
+        self._startup_error = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-test", daemon=True
+        )
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        kwargs = {} if self._clock is None else {"clock": self._clock}
+        self.server = SpmmServer(self.config, **kwargs)
+        try:
+            await self.server.start()
+        except Exception as exc:  # surfaced to start() on the test thread
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.server.wait_closed()
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        """Start the background loop and block until the server is listening."""
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ReproError("server thread did not become ready in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    @property
+    def address(self):
+        """Client-ready address (resolves ``port=0`` to the bound port)."""
+        if self.config.unix_path is not None:
+            return self.config.unix_path
+        return (self.config.host, self.server.port)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain and shut the server down, then join the thread."""
+        if self.server is not None and self._loop is not None and self._thread.is_alive():
+            try:
+                fut = asyncio.run_coroutine_threadsafe(
+                    self.server.shutdown(), self._loop
+                )
+                fut.result(timeout)
+            except (
+                asyncio.CancelledError,
+                concurrent.futures.CancelledError,
+                TimeoutError,
+                RuntimeError,
+            ):
+                pass  # loop already closing; the join below settles it
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -109,7 +109,12 @@ def nice_ticks(lo: float, hi: float, target: int = 5) -> list[float]:
     while t <= hi + step * 1e-9:
         if t >= lo - step * 1e-9:
             ticks.append(round(t, 10))
-        t += step
+        nxt = t + step
+        if nxt == t:
+            # step is below ulp(t): float addition can no longer advance
+            # (huge magnitude, tiny span) and the loop would never end.
+            break
+        t = nxt
     return ticks or [lo]
 
 

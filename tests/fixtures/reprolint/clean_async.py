@@ -1,0 +1,30 @@
+"""Fixture: RD108 stays silent — blocking work is loop-safe here."""
+
+import asyncio
+import time
+from pathlib import Path
+
+
+async def handle_request(writer):
+    """asyncio.sleep yields the loop; not a blocking call."""
+    await asyncio.sleep(0.1)
+    writer.write(b"ok\n")
+
+
+async def load_config(path):
+    """Blocking IO dispatched to the executor is the sanctioned shape."""
+    loop = asyncio.get_running_loop()
+
+    def read_sync():
+        # Inside a nested sync def: this runs on an executor thread,
+        # where blocking is fine.
+        with open(path) as fh:
+            return fh.read()
+
+    return await loop.run_in_executor(None, read_sync)
+
+
+def warm_cache(path):
+    """Sync functions may block; RD108 only watches async frames."""
+    time.sleep(0.01)
+    return Path(path).read_text()

@@ -133,6 +133,33 @@ class TestPerformanceRules:
         assert "RD105" not in codes_of(findings)
 
 
+class TestAsyncBlockingRule:
+    def test_flagged_fixture_fires_rd108(self):
+        findings = lint_fixture(
+            "flagged_async.py", module_path="repro/serve/fixture.py"
+        )
+        assert codes_of(findings) == ["RD108"] * 6
+
+    def test_messages_name_the_blocking_call(self):
+        findings = lint_fixture(
+            "flagged_async.py", module_path="repro/serve/fixture.py"
+        )
+        messages = " ".join(f.message for f in findings)
+        assert "time.sleep" in messages
+        assert "subprocess.run" in messages
+        assert ".read_text" in messages
+
+    def test_clean_fixture_is_silent(self):
+        assert (
+            lint_fixture("clean_async.py", module_path="repro/serve/fixture.py")
+            == []
+        )
+
+    def test_rd108_inactive_outside_serve_scope(self):
+        findings = lint_fixture("flagged_async.py")  # repro/aspt path
+        assert "RD108" not in codes_of(findings)
+
+
 class TestNumericalRules:
     def test_flagged_fixture_fires_all_rd2xx(self):
         findings = lint_fixture("flagged_numerical.py")

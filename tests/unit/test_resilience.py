@@ -155,6 +155,8 @@ class TestFaultInjector:
             "workspace.take": WorkspaceExhausted,
             "session.run": WorkspaceExhausted,
             "backend.compile": BackendUnavailable,
+            "serve.pool_evict": ReproIOError,
+            "serve.accept": ReproIOError,
         }
         assert set(expected) == set(FAULT_SITES)
         for site, exc_type in expected.items():
@@ -195,9 +197,62 @@ class TestRetryIO:
                 raise OSError("transient")
             return "ok"
 
-        assert retry_io(flaky, attempts=3, backoff_s=0.01, sleep=sleeps.append) == "ok"
+        assert (
+            retry_io(flaky, attempts=3, backoff_s=0.01, sleep=sleeps.append, jitter=0.0)
+            == "ok"
+        )
         assert calls["n"] == 3
-        assert sleeps == [0.01, 0.02]  # deterministic exponential backoff
+        assert sleeps == [0.01, 0.02]  # fixed exponential schedule with jitter off
+
+    def test_full_jitter_stays_within_exponential_ceiling(self):
+        sleeps = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 4:
+                raise OSError("transient")
+            return "ok"
+
+        assert (
+            retry_io(flaky, attempts=4, backoff_s=0.01, sleep=sleeps.append,
+                     label="jit")
+            == "ok"
+        )
+        assert len(sleeps) == 3
+        for attempt, slept in enumerate(sleeps):
+            assert 0.0 <= slept <= 0.01 * 2**attempt
+
+    def test_jitter_is_deterministic_not_random(self):
+        from repro.resilience.retry import _jitter_fraction
+
+        a = _jitter_fraction("planstore/x.bin", 1, 7)
+        b = _jitter_fraction("planstore/x.bin", 1, 7)
+        assert a == b
+        assert 0.0 <= a < 1.0
+        assert _jitter_fraction("planstore/x.bin", 2, 7) != a
+
+    def test_jitter_validated(self):
+        with pytest.raises(ValueError):
+            retry_io(lambda: None, jitter=1.5)
+
+    def test_sleep_histogram_observes_real_delays(self):
+        from repro.observability.metrics import METRICS
+
+        hist = METRICS.histogram(
+            "retry.sleep_s", "seconds slept between IO retry attempts"
+        )
+        before = hist.count
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 2:
+                raise OSError("transient")
+            return "ok"
+
+        retry_io(flaky, attempts=2, backoff_s=0.01, sleep=lambda _: None)
+        assert hist.count == before + 1
 
     def test_exhausted_attempts_reraise_last(self):
         def always():

@@ -1,0 +1,613 @@
+"""Unit tests for the serving layer (repro.serve).
+
+Pure-logic pieces (protocol codec, token buckets, shed controller,
+breaker, session pool, coalescer) are tested directly with injected
+clocks; the server itself is exercised end-to-end over real sockets via
+:class:`repro.serve.ServerThread` — the suite has no async runner, so
+the event loop lives on a background thread and every test crosses the
+genuine wire path.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, FormatError, ReproIOError, ValidationError
+from repro.resilience import FaultInjector
+from repro.serve import (
+    STATUS_DEADLINE_EXCEEDED,
+    STATUS_DRAINING,
+    STATUS_ERROR,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    STATUS_REJECTED_QUOTA,
+    AdmissionController,
+    CircuitBreaker,
+    Coalescer,
+    LoadShedController,
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+    SessionPool,
+    TokenBucket,
+    decode_message,
+    encode_message,
+    matrix_fingerprint,
+    matrix_from_wire,
+    matrix_to_wire,
+    parse_address,
+)
+
+from conftest import FakeClock, random_csr
+
+
+class ManualClock(FakeClock):
+    """A FakeClock that only moves when told to (step 0)."""
+
+    def __init__(self, start: float = 0.0):
+        super().__init__(start=start, step=0.0)
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_message_round_trip(self):
+        msg = {"op": "ping", "id": 3, "nested": {"a": [1.5, None, "x"]}}
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_encode_is_one_compact_line(self):
+        data = encode_message({"b": 1, "a": 2})
+        assert data.endswith(b"\n") and data.count(b"\n") == 1
+        assert data.index(b'"a"') < data.index(b'"b"')  # sorted keys
+
+    @pytest.mark.parametrize(
+        "line", [b"not json\n", b"[1,2]\n", b"42\n", b"\xff\xfe\n"]
+    )
+    def test_decode_rejects_non_object_lines(self, line):
+        with pytest.raises(FormatError):
+            decode_message(line)
+
+    def test_matrix_wire_round_trip_is_bitwise(self, rng):
+        csr = random_csr(rng, 30, 20, density=0.15)
+        back = matrix_from_wire(decode_message(encode_message(matrix_to_wire(csr))))
+        np.testing.assert_array_equal(back.rowptr, csr.rowptr)
+        np.testing.assert_array_equal(back.colidx, csr.colidx)
+        np.testing.assert_array_equal(back.values, csr.values)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("shape"),
+            lambda d: d.update(shape=[2]),
+            lambda d: d.update(rows="nope"),
+            lambda d: d.update(values=d["values"][:-1]),
+        ],
+    )
+    def test_matrix_from_wire_rejects_malformed_payloads(self, rng, mutate):
+        payload = matrix_to_wire(random_csr(rng, 10, 10))
+        mutate(payload)
+        with pytest.raises(FormatError):
+            matrix_from_wire(payload)
+
+    def test_fingerprint_depends_on_values(self, rng):
+        csr = random_csr(rng, 25, 25, density=0.1)
+        doubled = csr.with_values(csr.values * 2.0)
+        assert matrix_fingerprint(csr) == matrix_fingerprint(csr)
+        assert matrix_fingerprint(csr) != matrix_fingerprint(doubled)
+
+    def test_fingerprint_survives_the_wire(self, rng):
+        csr = random_csr(rng, 25, 25, density=0.1)
+        back = matrix_from_wire(
+            decode_message(encode_message(matrix_to_wire(csr)))
+        )
+        assert matrix_fingerprint(back) == matrix_fingerprint(csr)
+
+
+# ----------------------------------------------------------------------
+# Admission
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [True, True, True, False]
+        clock.advance(1.0)  # +2 tokens
+        assert bucket.try_acquire() and bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_tokens_capped_at_burst(self):
+        clock = ManualClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+
+
+class TestAdmissionController:
+    def _controller(self, clock, **kw):
+        kw.setdefault("max_inflight", 2)
+        kw.setdefault("quota_rate", 1.0)
+        kw.setdefault("quota_burst", 2.0)
+        return AdmissionController(clock=clock, **kw)
+
+    def test_overload_checked_before_quota(self):
+        clock = ManualClock()
+        ctl = self._controller(clock)
+        assert ctl.admit("a") is None
+        assert ctl.admit("a") is None
+        # Slots full: rejection is overload, and the tenant is NOT charged.
+        tokens_before = ctl.snapshot()["tenants"]["a"]
+        assert ctl.admit("a") == "rejected_overload"
+        assert ctl.snapshot()["tenants"]["a"] == tokens_before
+        ctl.release()
+        ctl.release()
+
+    def test_quota_rejection_and_refill(self):
+        clock = ManualClock()
+        ctl = self._controller(clock, max_inflight=100)
+        assert ctl.admit("t") is None
+        assert ctl.admit("t") is None
+        assert ctl.admit("t") == STATUS_REJECTED_QUOTA
+        clock.advance(1.0)
+        assert ctl.admit("t") is None
+        for _ in range(3):
+            ctl.release()
+
+    def test_tenants_are_isolated(self):
+        clock = ManualClock()
+        ctl = self._controller(clock, max_inflight=100)
+        while ctl.admit("greedy") is None:
+            pass
+        assert ctl.admit("greedy") == STATUS_REJECTED_QUOTA
+        assert ctl.admit("modest") is None  # unaffected by the other bucket
+
+    def test_per_tenant_quota_override(self):
+        clock = ManualClock()
+        ctl = self._controller(
+            clock, max_inflight=100, tenant_quotas={"vip": (10.0, 5.0)}
+        )
+        granted = 0
+        while ctl.admit("vip") is None:
+            granted += 1
+        assert granted == 5  # vip burst, not the 2.0 default
+
+    def test_release_without_admit_raises(self):
+        ctl = self._controller(ManualClock())
+        with pytest.raises(AssertionError):
+            ctl.release()
+
+
+# ----------------------------------------------------------------------
+# Shedding + breaker
+# ----------------------------------------------------------------------
+class TestLoadShedController:
+    def test_depth_thresholds_map_to_rungs(self):
+        shed = LoadShedController(depths=(2, 4, 6))
+        assert [shed.rung_for(d) for d in (0, 1, 2, 3, 4, 5, 6, 99)] == [
+            0, 0, 1, 1, 2, 2, 3, 3,
+        ]
+
+    def test_p95_slo_sheds_one_extra_rung(self):
+        shed = LoadShedController(depths=(2, 4, 6), slo_p95_s=0.1, window=8)
+        for _ in range(8):
+            shed.observe(0.5)  # p95 well above the SLO
+        assert shed.rung_for(0) == 1
+        assert shed.rung_for(6) == 3  # capped at the ladder floor
+
+    def test_p95_none_until_observations(self):
+        shed = LoadShedController(slo_p95_s=0.1)
+        assert shed.p95() is None
+        assert shed.rung_for(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadShedController(depths=(4, 2))
+        with pytest.raises(ValueError):
+            LoadShedController(depths=(1, 2, 3, 4))
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(threshold=3, reset_s=10.0, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(threshold=2, clock=ManualClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_single_trial_then_close_or_reopen(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(threshold=1, reset_s=5.0, clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()  # the half-open trial
+        assert not breaker.allow()  # only one trial at a time
+        breaker.record_failure()  # trial failed -> re-open
+        assert breaker.state == "open"
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_snapshot_reports_open_interval(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(threshold=1, reset_s=30.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(4.0)
+        snap = breaker.snapshot()
+        assert snap["state"] == "open"
+        assert snap["open_for_s"] == pytest.approx(4.0)
+
+
+# ----------------------------------------------------------------------
+# Session pool
+# ----------------------------------------------------------------------
+class FakeSession:
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+def _put(pool, key, **kw):
+    kw.setdefault("rung", "full")
+    kw.setdefault("provenance", ("full: ok",))
+    kw.setdefault("backend", "numpy")
+    kw.setdefault("degraded", False)
+    return pool.put(key, FakeSession(), **kw)
+
+
+class TestSessionPool:
+    def test_miss_then_hit(self):
+        pool = SessionPool(capacity=4, shards=1)
+        assert pool.pin("absent") is None
+        entry = _put(pool, "k1")
+        pool.unpin(entry)
+        again = pool.pin("k1")
+        assert again is entry
+        pool.unpin(again)
+
+    def test_lru_eviction_closes_the_victim(self):
+        pool = SessionPool(capacity=2, shards=1)
+        a = _put(pool, "a"); pool.unpin(a)
+        b = _put(pool, "b"); pool.unpin(b)
+        pool.pin("a")  # refresh a; b is now LRU
+        pool.unpin(a)
+        c = _put(pool, "c"); pool.unpin(c)
+        assert b.session.closed
+        assert pool.pin("b") is None
+        assert pool.pin("a") is not None
+
+    def test_pinned_entries_survive_eviction_pressure(self):
+        pool = SessionPool(capacity=1, shards=1)
+        pinned = _put(pool, "hot")  # stays pinned
+        other = _put(pool, "cold")
+        assert not pinned.session.closed
+        assert len(pool) == 2  # transient overflow instead of a yank
+        pool.unpin(pinned)
+        pool.unpin(other)
+
+    def test_racing_put_keeps_the_resident_entry(self):
+        pool = SessionPool(capacity=4, shards=1)
+        first = _put(pool, "k")
+        second = _put(pool, "k")
+        assert second is first
+        assert first.refs == 2
+        pool.unpin(first)
+        pool.unpin(first)
+
+    def test_unpin_without_pin_raises(self):
+        pool = SessionPool(capacity=4, shards=1)
+        entry = _put(pool, "k")
+        pool.unpin(entry)
+        with pytest.raises(AssertionError):
+            pool.unpin(entry)
+
+    def test_occupancy_snapshot(self):
+        pool = SessionPool(capacity=4, shards=2)
+        entry = _put(pool, "k1", rung="identity", backend="numpy")
+        occ = pool.occupancy()
+        assert occ["capacity"] == 4 and occ["entries"] == 1 and occ["pinned"] == 1
+        keys = [k for shard in occ["shards"] for k in shard["keys"]]
+        assert keys == [
+            {"key": "k1", "rung": "identity", "refs": 1, "backend": "numpy"}
+        ]
+        pool.unpin(entry)
+
+    def test_eviction_fault_is_absorbed(self):
+        pool = SessionPool(capacity=1, shards=1)
+        a = _put(pool, "a"); pool.unpin(a)
+        with FaultInjector(rate=1.0, seed=7, sites=["serve.pool_evict"]):
+            b = _put(pool, "b")  # evicts a; injected fault must not escape
+            pool.unpin(b)
+        assert pool.pin("a") is None  # eviction still happened
+        assert not a.session.closed  # fault fired before close()
+
+    def test_clear_leaves_pinned_entries(self):
+        pool = SessionPool(capacity=4, shards=2)
+        held = _put(pool, "held")
+        loose = _put(pool, "loose"); pool.unpin(loose)
+        pool.clear()
+        assert len(pool) == 1 and not held.session.closed
+        assert loose.session.closed
+        pool.unpin(held)
+
+    def test_sharding_is_hashseed_independent(self):
+        # BLAKE2b placement: the same keys land in the same shards in
+        # every process, whatever PYTHONHASHSEED says.
+        pool = SessionPool(capacity=8, shards=4)
+        placements = [pool._shard_for(f"key{i}") for i in range(16)]
+        again = [pool._shard_for(f"key{i}") for i in range(16)]
+        assert placements == again
+
+
+# ----------------------------------------------------------------------
+# Coalescer
+# ----------------------------------------------------------------------
+class TestCoalescer:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_concurrent_submits_share_one_batch(self):
+        async def scenario():
+            coalescer = Coalescer()
+            batches = []
+            started = asyncio.Event()
+
+            async def execute(key, members):
+                batches.append(list(members))
+                started.set()
+                await asyncio.sleep(0.02)  # hold the key so others queue up
+                return [m * 10 for m in members]
+
+            first = asyncio.create_task(coalescer.submit("k", 1, execute))
+            await started.wait()  # leader is mid-execute
+            rest = [
+                asyncio.create_task(coalescer.submit("k", n, execute))
+                for n in (2, 3)
+            ]
+            results = await asyncio.gather(first, *rest)
+            return batches, results
+
+        batches, results = self._run(scenario())
+        assert results == [10, 20, 30]
+        assert [1] in batches
+        assert [2, 3] in batches  # the queued pair rode one batch
+
+    def test_exception_reaches_every_member(self):
+        async def scenario():
+            coalescer = Coalescer()
+
+            async def execute(key, members):
+                raise ReproIOError("batch blew up")
+
+            tasks = [
+                asyncio.create_task(coalescer.submit("k", n, execute))
+                for n in (1, 2)
+            ]
+            out = []
+            for task in tasks:
+                with pytest.raises(ReproIOError):
+                    await task
+                out.append(True)
+            return out
+
+        assert self._run(scenario()) == [True, True]
+
+    def test_distinct_keys_do_not_serialise(self):
+        async def scenario():
+            coalescer = Coalescer()
+            order = []
+
+            async def execute(key, members):
+                order.append(("start", key))
+                await asyncio.sleep(0.01)
+                order.append(("end", key))
+                return members
+
+            await asyncio.gather(
+                coalescer.submit("a", 1, execute),
+                coalescer.submit("b", 2, execute),
+            )
+            return order
+
+        order = self._run(scenario())
+        assert order[0][0] == "start" and order[1][0] == "start"  # overlapped
+
+
+# ----------------------------------------------------------------------
+# Config + address parsing
+# ----------------------------------------------------------------------
+class TestServeConfig:
+    def test_defaults_validate(self):
+        ServeConfig()
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"pool_sessions": 0},
+            {"workers": 0},
+            {"quota_rate": 0.0},
+            {"shed_depths": (5, 3)},
+            {"shed_depths": (1, 2, 3, 4)},
+            {"default_deadline_s": 0.0},
+            {"backend": "no-such-backend"},
+        ],
+    )
+    def test_invalid_values_raise_config_error(self, kw):
+        with pytest.raises((ConfigError, Exception)):
+            ServeConfig(**kw)
+
+    def test_address_forms(self):
+        assert ServeConfig(host="h", port=9).address() == ("h", 9)
+        assert ServeConfig(unix_path="/tmp/x.sock").address() == "/tmp/x.sock"
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("10.0.0.1:7077") == ("10.0.0.1", 7077)
+        assert parse_address(":7077") == ("127.0.0.1", 7077)
+
+    def test_unix_path(self):
+        assert parse_address("/run/repro.sock") == "/run/repro.sock"
+
+    @pytest.mark.parametrize("bad", ["nocolon", "host:notaport"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValidationError):
+            parse_address(bad)
+
+
+# ----------------------------------------------------------------------
+# End-to-end over real sockets
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def served(request):
+    """One shared server + reference plan for the end-to-end tests."""
+    rng = np.random.default_rng(777)
+    csr = random_csr(rng, 48, 36, density=0.12)
+    config = ServeConfig(port=0, workers=2, panel_height=8, chunk_k=16)
+    from repro.reorder import build_plan
+
+    plan = build_plan(csr, config.reorder_config())
+    thread = ServerThread(config).start()
+    yield {"thread": thread, "csr": csr, "plan": plan, "rng": rng}
+    thread.stop()
+
+
+class TestServerEndToEnd:
+    def test_ping(self, served):
+        with ServeClient(served["thread"].address) as client:
+            resp = client.ping()
+            assert resp["status"] == STATUS_OK and resp["pong"] is True
+
+    def test_upload_then_spmm_is_bitwise_vs_plan_session(self, served):
+        csr, plan = served["csr"], served["plan"]
+        X = np.asarray(served["rng"].random((csr.n_cols, 40)), dtype=np.float64)
+        expected = plan.session(chunk_k=16).run(X).copy()
+        with ServeClient(served["thread"].address) as client:
+            fingerprint = client.upload(csr)["fingerprint"]
+            resp = client.spmm(X, fingerprint=fingerprint, request_id=11)
+            assert resp["status"] == STATUS_OK
+            assert resp["id"] == 11
+            assert resp["rung"] == "full" and resp["degraded"] is False
+            np.testing.assert_array_equal(
+                ServeClient.result_array(resp), expected
+            )
+
+    def test_inline_matrix_spmm(self, served):
+        csr, plan = served["csr"], served["plan"]
+        X = np.asarray(served["rng"].random((csr.n_cols, 3)), dtype=np.float64)
+        expected = plan.session(chunk_k=16).run(X).copy()
+        with ServeClient(served["thread"].address) as client:
+            resp = client.spmm(X, matrix=csr)
+            assert resp["status"] == STATUS_OK
+            np.testing.assert_array_equal(
+                ServeClient.result_array(resp), expected
+            )
+
+    def test_unknown_fingerprint_is_not_found(self, served):
+        X = np.ones((served["csr"].n_cols, 2))
+        with ServeClient(served["thread"].address) as client:
+            resp = client.spmm(X, fingerprint="deadbeef")
+            assert resp["status"] == STATUS_NOT_FOUND
+
+    def test_missing_operand_is_an_error(self, served):
+        with ServeClient(served["thread"].address) as client:
+            resp = client.request({"op": "spmm", "fingerprint": "x"})
+            assert resp["status"] in (STATUS_ERROR, STATUS_NOT_FOUND)
+            resp = client.request({"op": "spmm"})
+            assert resp["status"] == STATUS_ERROR
+
+    def test_malformed_line_gets_error_response_not_disconnect(self, served):
+        with ServeClient(served["thread"].address) as client:
+            client._sock.sendall(b"this is not json\n")
+            resp = decode_message(client._file.readline())
+            assert resp["status"] == STATUS_ERROR
+            assert client.ping()["status"] == STATUS_OK  # connection survives
+
+    def test_unknown_op_is_an_error(self, served):
+        with ServeClient(served["thread"].address) as client:
+            resp = client.request({"op": "explode"})
+            assert resp["status"] == STATUS_ERROR and "unknown op" in resp["error"]
+
+    def test_expired_deadline_is_reported_not_wrong(self, served):
+        csr = served["csr"]
+        X = np.ones((csr.n_cols, 4))
+        with ServeClient(served["thread"].address) as client:
+            fingerprint = client.upload(csr)["fingerprint"]
+            resp = client.spmm(X, fingerprint=fingerprint, deadline_s=1e-9)
+            assert resp["status"] == STATUS_DEADLINE_EXCEEDED
+            assert "result" not in resp
+
+    def test_health_and_metrics(self, served):
+        with ServeClient(served["thread"].address) as client:
+            health = client.health()
+            assert health["ready"] is True and health["draining"] is False
+            assert health["pool"]["capacity"] == 8
+            assert "in_flight" in health["admission"]
+            assert health["breaker"]["state"] == "closed"
+            metrics = client.metrics()
+            assert metrics["status"] == STATUS_OK
+            assert "serve.requests" in metrics["metrics"]
+            assert metrics["metrics"]["serve.requests"] >= 1
+
+
+class TestServerDrain:
+    def test_drain_rejects_new_work_then_closes(self, rng):
+        csr = random_csr(rng, 20, 16, density=0.2)
+        config = ServeConfig(port=0, workers=1, panel_height=8)
+        thread = ServerThread(config).start()
+        try:
+            with ServeClient(thread.address) as client:
+                fingerprint = client.upload(csr)["fingerprint"]
+                assert client.drain()["draining"] is True
+            # The server refuses new spmm work while draining/closed:
+            # either an explicit `draining` status or a closed socket.
+            try:
+                with ServeClient(thread.address, timeout=2.0) as late:
+                    resp = late.spmm(
+                        np.ones((csr.n_cols, 1)), fingerprint=fingerprint
+                    )
+                    assert resp["status"] == STATUS_DRAINING
+            except ReproIOError:
+                pass  # listener already closed: equally correct
+            thread._thread.join(10.0)
+            assert not thread._thread.is_alive()
+        finally:
+            thread.stop()
+
+
+class TestDoctorServeProbe:
+    def test_probe_running_server(self, served):
+        from repro.resilience.doctor import doctor_report, serve_health
+
+        host, port = served["thread"].address
+        health = serve_health(f"{host}:{port}")
+        assert health["reachable"] and health["ready"]
+        text, problems = doctor_report(serve_address=f"{host}:{port}")
+        assert not problems
+        assert "pool:" in text and "admission:" in text and "breaker" in text
+
+    def test_probe_unreachable_server(self):
+        from repro.resilience.doctor import doctor_report, serve_health
+
+        health = serve_health("127.0.0.1:1")  # nothing listens on port 1
+        assert health["reachable"] is False
+        text, problems = doctor_report(serve_address="127.0.0.1:1")
+        assert problems and "UNREACHABLE" in text

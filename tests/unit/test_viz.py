@@ -41,6 +41,15 @@ class TestNiceTicks:
         ticks = nice_ticks(-10.0, 10.0)
         assert any(t < 0 for t in ticks) and any(t > 0 for t in ticks)
 
+    def test_tiny_span_at_huge_magnitude_terminates(self):
+        # The 1/2/5 step for a ~1e-7 span near |1e9| is below ulp(1e9),
+        # so t += step cannot advance t; the loop must bail rather than
+        # append the same tick forever.
+        for lo, hi in [(-1e9, -1e9 + 1e-7), (1e9 - 1e-7, 1e9)]:
+            ticks = nice_ticks(lo, hi)
+            assert 1 <= len(ticks) <= 12
+            assert ticks == sorted(ticks)
+
 
 class TestScatter:
     def test_well_formed_and_marks(self):
