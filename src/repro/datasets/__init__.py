@@ -32,6 +32,7 @@ from repro.datasets.clustered import hidden_clusters, preclustered
 from repro.datasets.graphs import rmat, small_world, bipartite_ratings, stochastic_block_model
 from repro.datasets.corpus import CorpusEntry, build_corpus, corpus_summary
 from repro.datasets.registry import GENERATORS, get_generator, list_generators
+from repro.datasets.streams import MatrixStream, edge_stream, stream_corpus
 
 __all__ = [
     "banded",
@@ -52,4 +53,7 @@ __all__ = [
     "GENERATORS",
     "get_generator",
     "list_generators",
+    "MatrixStream",
+    "edge_stream",
+    "stream_corpus",
 ]

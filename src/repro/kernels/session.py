@@ -140,8 +140,21 @@ class KernelSession:
         ).child()
         self._warned_fallback = False
         self._local = threading.local()
+        self._requested_backend = backend
+        self._bind(target)
+
+    def _bind(self, target) -> None:
+        """Pin ``target``: derive per-matrix state and compile artifacts.
+
+        Shared by construction and :meth:`refresh`; every target-derived
+        attribute is (re)assigned here so a refresh leaves no stale state
+        behind.
+        """
         self._plan = None
         self._tiled = None
+        self._steady = None
+        self._sparse = None
+        self._remainder = None
         if isinstance(target, CSRMatrix):
             self._kind = "csr"
             self._n_rows = target.n_rows
@@ -168,7 +181,7 @@ class KernelSession:
                 f"ExecutionPlan, got {type(target).__name__}"
             )
         self.target = target
-        self._init_backend(backend, states)
+        self._init_backend(self._requested_backend, states)
 
     def _init_tiled(self, tiled: TiledMatrix) -> None:
         self._tiled = tiled
@@ -256,6 +269,34 @@ class KernelSession:
     def close(self) -> None:
         """Drop the pooled scratch blocks (the session stays usable)."""
         self.pool.clear()
+
+    def refresh(self, target) -> "KernelSession":
+        """Re-pin the session onto a successor ``target`` in place.
+
+        The streaming path: after :func:`repro.streaming.apply_delta`
+        produces a patched plan, ``refresh`` re-derives every
+        target-bound attribute (pinned states, panel remaps, compiled
+        artifacts — warm compiles hit the process-wide artifact cache)
+        while keeping the session identity, its workspace pool and its
+        degradation counters.  Accepts the same target types as the
+        constructor, plus a :class:`repro.streaming.PlanUpdate` (its
+        ``plan`` is unwrapped).  The per-thread pinned output buffers are
+        dropped because the matrix height may have changed.
+
+        Not safe to interleave with concurrent :meth:`run` calls on the
+        same session — callers that share a session across threads (the
+        serving pool does) must serialise refresh against runs.
+        """
+        plan = getattr(target, "plan", None)
+        if plan is not None and hasattr(plan, "row_order"):
+            target = plan  # a PlanUpdate: pin the patched plan inside
+        self._local = threading.local()
+        self._bind(target)
+        METRICS.counter(
+            "streaming.sessions_refreshed",
+            "kernel sessions re-pinned onto a streamed successor target",
+        ).inc()
+        return self
 
     # ------------------------------------------------------------------
     def _output(self, K: int, out: np.ndarray | None) -> np.ndarray:

@@ -181,6 +181,13 @@ class ExecutionPlan:
         the decisions so warm sessions know the artifact without
         re-deriving it.  Empty when the backend resolved to ``numpy``
         without compiling.
+    revision:
+        Streaming update counter: 0 for a freshly built plan, bumped by
+        one each time :func:`repro.streaming.apply_delta` produces the
+        plan's successor.  Session memos and serve pools key on it so a
+        patched plan — whose *pattern* fingerprint may be unchanged when
+        only values drifted — can never be served through a stale
+        session pinned on the predecessor's data.
     """
 
     original: CSRMatrix
@@ -194,6 +201,7 @@ class ExecutionPlan:
     backend: str = "numpy"
     backend_provenance: tuple = ()
     artifact: tuple = ()
+    revision: int = 0
 
     @property
     def degraded(self) -> bool:

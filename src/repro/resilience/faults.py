@@ -66,6 +66,12 @@ def _backend_compile_fault() -> Exception:
     return BackendUnavailable("injected fault: backend kernel compile failure")
 
 
+def _streaming_update_fault() -> Exception:
+    return TimeoutExceeded(
+        "injected fault: streaming update interrupted", stage="streaming.update"
+    )
+
+
 def _pool_evict_fault() -> Exception:
     return ReproIOError("injected fault: session teardown failed during eviction")
 
@@ -86,6 +92,7 @@ FAULT_SITES: dict = {
     "workspace.take": _pool_fault,
     "session.run": _pool_fault,
     "backend.compile": _backend_compile_fault,
+    "streaming.update": _streaming_update_fault,
     "serve.pool_evict": _pool_evict_fault,
     "serve.accept": _accept_fault,
 }

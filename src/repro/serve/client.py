@@ -13,7 +13,12 @@ import socket
 import numpy as np
 
 from repro.errors import ReproIOError, ValidationError
-from repro.serve.protocol import decode_message, encode_message, matrix_to_wire
+from repro.serve.protocol import (
+    decode_message,
+    delta_to_wire,
+    encode_message,
+    matrix_to_wire,
+)
 
 __all__ = ["ServeClient", "parse_address"]
 
@@ -109,6 +114,17 @@ class ServeClient:
         if request_id is not None:
             msg["id"] = request_id
         return self.request(msg)
+
+    def delta(self, fingerprint: str, delta) -> dict:
+        """Stream a :class:`~repro.streaming.DeltaBatch` into ``fingerprint``.
+
+        On ``status == "ok"`` the response carries the mutated matrix's
+        new ``fingerprint`` (use it for subsequent ``spmm`` requests) and
+        the number of warm sessions the update invalidated.
+        """
+        return self.request(
+            {"op": "delta", "fingerprint": fingerprint, "delta": delta_to_wire(delta)}
+        )
 
     @staticmethod
     def result_array(response: dict) -> np.ndarray:

@@ -181,6 +181,35 @@ class SessionPool:
             # of the table, a failure must never surface into a request.
             self._evict_faults.inc()
 
+    def invalidate_prefix(self, fingerprint: str) -> int:
+        """Drop every warm entry for ``fingerprint`` (any rung).
+
+        The streaming path: a ``delta`` request replaces a registered
+        matrix, so sessions pinned to its old fingerprint must never
+        serve another multiply.  Entries are removed from the table
+        immediately; unpinned ones are closed through the normal evict
+        path, in-flight ones finish their current multiply on the
+        detached object and are garbage-collected on unpin.  Returns the
+        number of entries invalidated.
+        """
+        prefix = f"{fingerprint}:"
+        dropped = []
+        for shard in self._shards:
+            with shard.lock:
+                doomed = [k for k in shard.entries if k.startswith(prefix)]
+                for k in doomed:
+                    dropped.append(shard.entries.pop(k))
+        for entry in dropped:
+            if entry.refs == 0:
+                self._evict(entry)
+        if dropped:
+            METRICS.counter(
+                "serve.pool_invalidate",
+                "warm sessions invalidated by streaming deltas",
+            ).inc(len(dropped))
+        self._size.set(len(self))
+        return len(dropped)
+
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return sum(len(shard.entries) for shard in self._shards)

@@ -17,6 +17,12 @@ Request ops
     Multiply: either ``fingerprint`` (a previously uploaded matrix) or an
     inline ``matrix``, plus the dense operand ``x`` (``n_cols x K``
     nested lists), optional ``deadline_s`` and ``tenant``.
+``delta``
+    Stream a :class:`~repro.streaming.DeltaBatch` into a previously
+    uploaded matrix: the registry entry is replaced by the mutated
+    matrix (responding with its new fingerprint) and warm sessions
+    pinned to the old fingerprint are invalidated, so no later request
+    can multiply through pre-delta values.
 ``health``
     Readiness report: pool occupancy, quota state, breaker state, drain
     flag.
@@ -53,7 +59,7 @@ import json
 
 import numpy as np
 
-from repro.errors import FormatError, ShapeError
+from repro.errors import FormatError, ShapeError, ValidationError
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.util.hashing import digest_arrays, stable_digest
@@ -74,6 +80,8 @@ __all__ = [
     "matrix_to_wire",
     "matrix_from_wire",
     "dense_from_wire",
+    "delta_to_wire",
+    "delta_from_wire",
     "matrix_fingerprint",
 ]
 
@@ -90,7 +98,7 @@ STATUS_DRAINING = "draining"
 STATUS_ERROR = "error"
 
 #: Ops a server accepts (anything else gets an ``error`` response).
-REQUEST_OPS = ("ping", "upload", "spmm", "health", "metrics", "drain")
+REQUEST_OPS = ("ping", "upload", "spmm", "delta", "health", "metrics", "drain")
 
 
 def encode_message(obj: dict) -> bytes:
@@ -179,6 +187,53 @@ def dense_from_wire(obj, *, rows: int) -> np.ndarray:
     if x.ndim != 2:
         raise ShapeError(f"dense operand must be 2-D, got shape {x.shape}")
     return check_dense("x", x, rows=rows)
+
+
+def delta_to_wire(delta) -> dict:
+    """Encode a :class:`~repro.streaming.DeltaBatch` as a ``delta`` payload."""
+    return {
+        "rows": [int(r) for r in delta.rows],
+        "cols": [int(c) for c in delta.cols],
+        "values": [float(v) for v in delta.values],
+        "new_rows": int(delta.new_rows),
+        "mode": delta.mode,
+        "timestamp": float(delta.timestamp),
+    }
+
+
+def delta_from_wire(obj):
+    """Decode a ``delta`` payload into a validated ``DeltaBatch``."""
+    from repro.streaming import DeltaBatch
+
+    if not isinstance(obj, dict):
+        raise FormatError(
+            f"delta payload must be an object, got {type(obj).__name__}"
+        )
+    missing = [k for k in ("rows", "cols", "values") if k not in obj]
+    if missing:
+        raise FormatError(f"delta payload missing field(s): {', '.join(missing)}")
+    try:
+        rows = np.asarray(obj["rows"], dtype=np.int64)
+        cols = np.asarray(obj["cols"], dtype=np.int64)
+        values = np.asarray(obj["values"], dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise FormatError(f"delta triples are not numeric arrays: {exc}") from exc
+    new_rows = obj.get("new_rows", 0)
+    mode = obj.get("mode", "add")
+    if not isinstance(new_rows, int) or new_rows < 0:
+        raise FormatError(f"delta new_rows must be a non-negative int, got {new_rows!r}")
+    try:
+        # DeltaBatch validates shapes, dtypes and the mode/new_rows combination.
+        return DeltaBatch(
+            rows=rows,
+            cols=cols,
+            values=values,
+            new_rows=new_rows,
+            mode=mode,
+            timestamp=float(obj.get("timestamp", 0.0)),
+        )
+    except (TypeError, ValueError, ValidationError) as exc:
+        raise FormatError(f"invalid delta payload: {exc}") from exc
 
 
 def matrix_fingerprint(csr: CSRMatrix) -> str:

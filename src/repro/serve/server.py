@@ -47,6 +47,7 @@ from repro.serve.protocol import (
     STATUS_NOT_FOUND,
     STATUS_OK,
     decode_message,
+    delta_from_wire,
     dense_from_wire,
     encode_message,
     matrix_fingerprint,
@@ -122,6 +123,9 @@ class SpmmServer:
         )
         self._matrix_evicts = METRICS.counter(
             "serve.matrix_evict", "uploaded matrices evicted from the registry"
+        )
+        self._deltas = METRICS.counter(
+            "serve.deltas", "streaming delta requests applied"
         )
         self._latency = METRICS.histogram(
             "serve.latency_s", "admitted spmm latency in seconds"
@@ -273,6 +277,8 @@ class SpmmServer:
             return await self._op_upload(msg)
         if op == "spmm":
             return await self._op_spmm(msg)
+        if op == "delta":
+            return await self._op_delta(msg)
         if op == "health":
             return self._op_health()
         if op == "metrics":
@@ -318,6 +324,52 @@ class SpmmServer:
             "fingerprint": fingerprint,
             "shape": [csr.n_rows, csr.n_cols],
             "nnz": int(csr.nnz),
+        }
+
+    async def _op_delta(self, msg: dict) -> dict:
+        """Stream a delta into a registered matrix (see the protocol docs).
+
+        The mutated matrix replaces the old registry entry under its new
+        content fingerprint, and every warm session pinned to the old
+        fingerprint is invalidated — a later ``spmm`` against the new
+        fingerprint rebuilds warm (the plan store still holds the
+        pattern-keyed decisions when the delta was value-only).
+        """
+        if self._draining:
+            return {"status": STATUS_DRAINING}
+        fingerprint = msg.get("fingerprint")
+        if fingerprint is None or "delta" not in msg:
+            return {
+                "status": STATUS_ERROR,
+                "error": "delta needs a fingerprint and a delta payload",
+            }
+        csr = self._lookup_matrix(fingerprint)
+        if csr is None:
+            return {
+                "status": STATUS_NOT_FOUND,
+                "error": f"no matrix with fingerprint {fingerprint!r}; "
+                "upload it first",
+            }
+        delta = delta_from_wire(msg["delta"])
+
+        def mutate():
+            fault_point("streaming.update")
+            return delta.apply_to(csr)
+
+        csr_new = await self._loop.run_in_executor(self._executor, mutate)
+        new_fingerprint = matrix_fingerprint(csr_new)
+        with self._matrices_lock:
+            self._matrices.pop(fingerprint, None)
+        self._register_matrix(new_fingerprint, csr_new)
+        invalidated = self.pool.invalidate_prefix(fingerprint)
+        self._deltas.inc()
+        return {
+            "status": STATUS_OK,
+            "fingerprint": new_fingerprint,
+            "previous_fingerprint": fingerprint,
+            "shape": [csr_new.n_rows, csr_new.n_cols],
+            "nnz": int(csr_new.nnz),
+            "sessions_invalidated": invalidated,
         }
 
     def _op_health(self) -> dict:

@@ -38,16 +38,98 @@ from repro.sparse.csr import CSRMatrix
 from repro.util.rng import as_generator
 from repro.util.validation import check_positive
 
-__all__ = ["lsh_candidate_pairs", "LSHIndex"]
+__all__ = [
+    "lsh_candidate_pairs",
+    "LSHIndex",
+    "band_mixers",
+    "band_keys_matrix",
+    "pairs_from_band_keys",
+]
 
 
-def _band_keys(band: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-    """Compress a ``(n_rows, bsize)`` band slice to one int64 key per row."""
-    mix = rng.integers(1, 2**61, size=band.shape[1], dtype=np.int64)
+def band_mixers(siglen: int, bsize: int, seed=None) -> np.ndarray:
+    """The ``(nbands, bsize)`` band-compression mix vectors for ``seed``.
+
+    Drawn in exactly the per-band order :func:`lsh_candidate_pairs` draws
+    them, so keys computed from these mixers are identical to the keys of
+    a from-scratch banding pass — the contract the incremental
+    :mod:`repro.streaming` state relies on.
+    """
+    bsize = check_positive("bsize", bsize)
+    if siglen % bsize != 0:
+        raise ValidationError(f"bsize={bsize} must divide siglen={siglen}")
+    rng = as_generator(seed)
+    nbands = siglen // bsize
+    # One draw per band, in band order — consumes the generator stream in
+    # exactly the chunks the historical per-band loop consumed it, so the
+    # mixers (and therefore every bucket key) are bit-identical to what
+    # any previously built plan used.
+    return np.stack(
+        [rng.integers(1, 2**61, size=bsize, dtype=np.int64) for _ in range(nbands)]
+    )
+
+
+def band_keys_matrix(signatures: np.ndarray, mixers: np.ndarray) -> np.ndarray:
+    """Per-band bucket keys for every signature row.
+
+    Returns an ``(n_rows, nbands)`` int64 matrix whose column ``b`` holds
+    the band-``b`` bucket key of each row — two rows share an LSH bucket
+    in band ``b`` exactly when their keys agree (modulo the harmless
+    linear-hash collisions noted in the module docstring).  Row ``i``'s
+    keys depend only on ``signatures[i]``, which is what makes dirty-row
+    re-bucketing in :mod:`repro.streaming` exact.
+    """
+    signatures = np.asarray(signatures)
+    nbands, bsize = mixers.shape
+    banded = signatures.reshape(signatures.shape[0], nbands, bsize)
     # Overflowing multiply-add is fine: wrap-around keeps the map
-    # deterministic and equal inputs still produce equal keys.
+    # deterministic, and modular int64 addition is order-independent so
+    # the batched sum matches a per-band loop bit for bit.
     with np.errstate(over="ignore"):
-        return (band * mix).sum(axis=1, dtype=np.int64)
+        return (banded * mixers[None, :, :]).sum(axis=2, dtype=np.int64)
+
+
+def pairs_from_band_keys(
+    keys: np.ndarray,
+    rows: np.ndarray,
+    n_rows: int,
+    *,
+    bucket_cap: int | None = 64,
+    deadline=None,
+) -> np.ndarray:
+    """Expand an ``(m, nbands)`` band-key matrix into candidate pairs.
+
+    ``keys[i]`` are the per-band bucket keys of ``rows[i]`` (an int64 map
+    back to original row ids, after any empty-row filtering); ``n_rows``
+    is the full matrix height used to canonicalise/deduplicate pairs.
+    This is the exact tail of :func:`lsh_candidate_pairs` — bucketing by
+    stable argsort per band, capped expansion, then global dedupe — so a
+    caller that maintains ``keys`` incrementally gets the same pairs a
+    from-scratch pass would produce.
+    """
+    chunks: list[np.ndarray] = []
+    for band_idx in range(keys.shape[1]):
+        if deadline is not None:
+            deadline.check("lsh")
+        band_keys = keys[:, band_idx]
+        order = np.argsort(band_keys, kind="stable")
+        sorted_keys = band_keys[order]
+        boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [sorted_keys.size]])
+        chunks.extend(_pairs_in_buckets(order, starts, ends, bucket_cap))
+
+    if not chunks:
+        return np.empty((0, 2), dtype=np.int64)
+    pairs = np.concatenate(chunks, axis=0)
+    # Map local (post-filter) indices back to original row ids and
+    # canonicalise as (min, max).
+    pairs = rows[pairs]
+    lo = np.minimum(pairs[:, 0], pairs[:, 1])
+    hi = np.maximum(pairs[:, 0], pairs[:, 1])
+    pair_keys = lo * np.int64(n_rows) + hi
+    uniq = np.unique(pair_keys)
+    return np.stack([uniq // n_rows, uniq % n_rows], axis=1)
 
 
 #: Cache of ``np.triu_indices(size, k=1)`` results.  Buckets are small and
@@ -163,7 +245,6 @@ def lsh_candidate_pairs(
     if n_rows < 2:
         return np.empty((0, 2), dtype=np.int64)
 
-    rng = as_generator(seed)
     rows = np.arange(n_rows, dtype=np.int64)
     if skip_empty_sentinel:
         nonempty = ~(signatures == EMPTY_ROW_SENTINEL).all(axis=1)
@@ -172,31 +253,11 @@ def lsh_candidate_pairs(
         if rows.size < 2:
             return np.empty((0, 2), dtype=np.int64)
 
-    nbands = siglen // bsize
-    chunks: list[np.ndarray] = []
-    for band_idx in range(nbands):
-        if deadline is not None:
-            deadline.check("lsh")
-        band = signatures[:, band_idx * bsize : (band_idx + 1) * bsize]
-        keys = _band_keys(band, rng)
-        order = np.argsort(keys, kind="stable")
-        sorted_keys = keys[order]
-        boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
-        starts = np.concatenate([[0], boundaries])
-        ends = np.concatenate([boundaries, [sorted_keys.size]])
-        chunks.extend(_pairs_in_buckets(order, starts, ends, bucket_cap))
-
-    if not chunks:
-        return np.empty((0, 2), dtype=np.int64)
-    pairs = np.concatenate(chunks, axis=0)
-    # Map local (post-filter) indices back to original row ids and
-    # canonicalise as (min, max).
-    pairs = rows[pairs]
-    lo = np.minimum(pairs[:, 0], pairs[:, 1])
-    hi = np.maximum(pairs[:, 0], pairs[:, 1])
-    keys = lo * np.int64(n_rows) + hi
-    uniq = np.unique(keys)
-    return np.stack([uniq // n_rows, uniq % n_rows], axis=1)
+    mixers = band_mixers(siglen, bsize, seed)
+    keys = band_keys_matrix(signatures, mixers)
+    return pairs_from_band_keys(
+        keys, rows, n_rows, bucket_cap=bucket_cap, deadline=deadline
+    )
 
 
 @dataclass(frozen=True)

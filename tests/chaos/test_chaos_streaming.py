@@ -1,0 +1,159 @@
+"""Chaos tests for incremental replanning (the ``streaming.update`` site).
+
+Contract: an interrupted :func:`~repro.streaming.apply_delta` must never
+leave a torn plan — the caller either gets the complete new plan or keeps
+the complete old one.  Under a :class:`~repro.resilience.ResiliencePolicy`
+with the ladder enabled, injected faults degrade to a full replan whose
+report says so; without one they propagate, and retrying once the fault
+clears converges to exactly the from-scratch result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import hidden_clusters
+from repro.errors import TimeoutExceeded
+from repro.reorder import ReorderConfig, build_plan
+from repro.resilience import FaultInjector, ResiliencePolicy
+from repro.streaming import (
+    DeltaBatch,
+    LshState,
+    StreamingPlan,
+    apply_delta,
+    split_into_deltas,
+)
+
+CFG = ReorderConfig(siglen=16, bsize=4, panel_height=8, force_round1=True)
+
+
+@pytest.fixture
+def matrix():
+    return hidden_clusters(24, 8, 512, 8, noise=0.1, seed=5)
+
+
+@pytest.fixture
+def delta(matrix):
+    rng = np.random.default_rng(9)
+    k = 10
+    return DeltaBatch(
+        rows=rng.integers(0, matrix.n_rows, size=k),
+        cols=rng.integers(0, matrix.n_cols, size=k),
+        values=rng.normal(size=k),
+    )
+
+
+def plans_identical(a, b) -> bool:
+    return (
+        np.array_equal(a.row_order, b.row_order)
+        and np.array_equal(a.remainder_order, b.remainder_order)
+        and a.stats == b.stats
+        and np.array_equal(a.tiled.dense_part.values, b.tiled.dense_part.values)
+        and np.array_equal(a.tiled.sparse_part.values, b.tiled.sparse_part.values)
+    )
+
+
+class TestTornPlanSafety:
+    def test_interrupted_update_leaves_old_plan_intact(
+        self, matrix, delta, chaos_seed
+    ):
+        """Without a policy the injected fault propagates — and the
+        StreamingPlan still serves the *complete* pre-update plan."""
+        sp = StreamingPlan(matrix, CFG)
+        before = sp.plan
+        x = np.random.default_rng(1).normal(size=(matrix.n_cols, 4))
+        y_before = before.spmm(x)
+        with FaultInjector(
+            rate=1.0, seed=chaos_seed, sites=["streaming.update"], max_faults=1
+        ):
+            with pytest.raises(TimeoutExceeded):
+                sp.apply(delta)
+        assert sp.plan is before
+        assert sp.revision == 0
+        assert sp.reports == []
+        np.testing.assert_array_equal(sp.plan.spmm(x), y_before)
+
+    def test_resumed_update_converges(self, matrix, delta, chaos_seed):
+        """Retrying the same delta after the fault clears produces exactly
+        the from-scratch plan for the mutated matrix."""
+        sp = StreamingPlan(matrix, CFG)
+        with FaultInjector(
+            rate=1.0, seed=chaos_seed, sites=["streaming.update"], max_faults=1
+        ):
+            with pytest.raises(TimeoutExceeded):
+                sp.apply(delta)
+        report = sp.apply(delta)  # no injector: must succeed
+        assert report.patched
+        fresh = build_plan(delta.apply_to(matrix), CFG)
+        assert plans_identical(sp.plan, fresh)
+        assert sp.revision == 1
+
+    def test_input_plan_and_state_never_mutated(self, matrix, delta, chaos_seed):
+        plan0 = build_plan(matrix, CFG)
+        state0 = LshState.build(matrix, CFG)
+        sig0 = state0.signatures.copy()
+        order0 = plan0.row_order.copy()
+        with FaultInjector(
+            rate=1.0, seed=chaos_seed, sites=["streaming.update"], max_faults=1
+        ):
+            with pytest.raises(TimeoutExceeded):
+                apply_delta(plan0, delta, CFG, state=state0)
+        np.testing.assert_array_equal(plan0.row_order, order0)
+        np.testing.assert_array_equal(state0.signatures, sig0)
+
+
+class TestDegradedUpdates:
+    def test_fault_degrades_to_replan_with_reason(
+        self, matrix, delta, chaos_seed
+    ):
+        """With the ladder enabled the injected fault turns into a full
+        replan whose report carries the reason — never an exception."""
+        plan0 = build_plan(matrix, CFG)
+        state0 = LshState.build(matrix, CFG)
+        with FaultInjector(
+            rate=1.0, seed=chaos_seed, sites=["streaming.update"], max_faults=1
+        ):
+            update = apply_delta(
+                plan0, delta, CFG, state=state0,
+                resilience=ResiliencePolicy(),
+            )
+        assert update.report.mode == "replanned"
+        assert "patch aborted" in update.report.reason
+        assert update.report.provenance == update.plan.provenance
+        fresh = build_plan(delta.apply_to(matrix), CFG)
+        assert plans_identical(update.plan, fresh)
+
+    def test_degraded_plan_triggers_recovery_replan(self, matrix, delta):
+        """A plan that settled below the full rung is not patched — the
+        next update replans to recover, and says why."""
+        policy = ResiliencePolicy(deadline_s=0.0)  # every rung times out
+        degraded = build_plan(matrix, CFG, resilience=policy)
+        assert degraded.degraded
+        update = apply_delta(degraded, delta, CFG, state=None)
+        assert update.report.mode == "replanned"
+        assert "degraded" in update.report.reason
+
+
+class TestChaosRate:
+    def test_stream_replay_correct_under_sustained_injection(
+        self, matrix, chaos_rate, chaos_seed
+    ):
+        """At the configured chaos rate every update completes (patched or
+        degraded-replanned) and the surviving plan is always bitwise-equal
+        to a from-scratch build on the same matrix."""
+        base, deltas = split_into_deltas(matrix, 6, seed=3, grow_rows=False)
+        # max_dirty_fraction=1.0 keeps every update on the patch path (the
+        # site under injection); the heuristic path is covered above.
+        sp = StreamingPlan(
+            base, CFG, resilience=ResiliencePolicy(), max_dirty_fraction=1.0
+        )
+        x = np.random.default_rng(2).normal(size=(matrix.n_cols, 4))
+        with FaultInjector(
+            rate=chaos_rate, seed=chaos_seed, sites=["streaming.update"]
+        ) as injector:
+            for delta in deltas:
+                sp.apply(delta)
+                fresh = build_plan(sp.matrix, CFG)
+                np.testing.assert_array_equal(sp.plan.spmm(x), fresh.spmm(x))
+        assert injector.checked["streaming.update"] > 0
+        assert sp.revision == len(deltas)
+        np.testing.assert_array_equal(sp.matrix.values, matrix.values)

@@ -119,6 +119,33 @@ def backend(backend_name):
     return get_backend(backend_name)
 
 
+# --- Streaming construction fixture ------------------------------------------
+#
+# Suites parametrized with ``streamed`` run every case twice: once on the
+# matrix built whole, once on the same matrix rebuilt by replaying its
+# delta stream through repro.streaming.  The replay contract is exact
+# (bit-for-bit), so any downstream difference between the two legs is a
+# streaming bug.
+
+
+@pytest.fixture(params=[False, True], ids=["whole", "streamed"])
+def streamed(request) -> bool:
+    """Whether to rebuild the test matrix via N delta applications."""
+    return request.param
+
+
+def maybe_streamed(csr, streamed, n_batches=4, seed=0):
+    """``csr`` as-is, or rebuilt by replaying its delta decomposition."""
+    if not streamed:
+        return csr
+    from repro.streaming import split_into_deltas
+
+    out, deltas = split_into_deltas(csr, n_batches, seed=seed, grow_rows=False)
+    for delta in deltas:
+        out = delta.apply_to(out)
+    return out
+
+
 # --- Chaos-suite knobs (tests/chaos) ----------------------------------------
 #
 # The CI ``chaos`` job runs tests/chaos twice with pinned seeds at two

@@ -16,6 +16,8 @@ from repro.kernels import sddmm, spmm, spmv
 from repro.reorder import ReorderConfig, build_plan
 from repro.sparse import csr_to_csc, transpose_csr
 
+from conftest import maybe_streamed
+
 
 def to_scipy(csr):
     return sp.csr_matrix(
@@ -33,8 +35,8 @@ MATRICES = [
 
 @pytest.mark.parametrize("name,factory", MATRICES, ids=[m[0] for m in MATRICES])
 class TestAgainstScipy:
-    def test_spmm(self, name, factory, rng, backend_name):
-        m = factory()
+    def test_spmm(self, name, factory, rng, backend_name, streamed):
+        m = maybe_streamed(factory(), streamed)
         X = rng.normal(size=(m.n_cols, 16))
         np.testing.assert_allclose(
             spmm(m, X, backend=backend_name),
@@ -43,8 +45,8 @@ class TestAgainstScipy:
             atol=1e-9,
         )
 
-    def test_spmv(self, name, factory, rng, backend_name):
-        m = factory()
+    def test_spmv(self, name, factory, rng, backend_name, streamed):
+        m = maybe_streamed(factory(), streamed)
         x = rng.normal(size=m.n_cols)
         np.testing.assert_allclose(
             spmv(m, x, backend=backend_name),
@@ -53,16 +55,16 @@ class TestAgainstScipy:
             atol=1e-9,
         )
 
-    def test_plan_spmm(self, name, factory, rng):
-        m = factory()
+    def test_plan_spmm(self, name, factory, rng, streamed):
+        m = maybe_streamed(factory(), streamed)
         plan = build_plan(m, ReorderConfig(siglen=32, panel_height=16))
         X = rng.normal(size=(m.n_cols, 8))
         np.testing.assert_allclose(
             plan.spmm(X), to_scipy(m) @ X, rtol=1e-10, atol=1e-8
         )
 
-    def test_sddmm(self, name, factory, rng, backend_name):
-        m = factory()
+    def test_sddmm(self, name, factory, rng, backend_name, streamed):
+        m = maybe_streamed(factory(), streamed)
         X = rng.normal(size=(m.n_cols, 8))
         Y = rng.normal(size=(m.n_rows, 8))
         got = sddmm(m, X, Y, backend=backend_name)
@@ -72,8 +74,8 @@ class TestAgainstScipy:
         expected = dense_vals * s.data
         np.testing.assert_allclose(got.values, expected, rtol=1e-10, atol=1e-9)
 
-    def test_transpose(self, name, factory, rng):
-        m = factory()
+    def test_transpose(self, name, factory, rng, streamed):
+        m = maybe_streamed(factory(), streamed)
         ours = transpose_csr(m)
         theirs = to_scipy(m).T.tocsr()
         theirs.sort_indices()
@@ -81,8 +83,8 @@ class TestAgainstScipy:
         np.testing.assert_array_equal(ours.colidx, theirs.indices)
         np.testing.assert_allclose(ours.values, theirs.data)
 
-    def test_csc(self, name, factory, rng):
-        m = factory()
+    def test_csc(self, name, factory, rng, streamed):
+        m = maybe_streamed(factory(), streamed)
         ours = csr_to_csc(m)
         theirs = to_scipy(m).tocsc()
         theirs.sort_indices()

@@ -19,13 +19,15 @@ from repro.sparse import (
     transpose_csr,
 )
 
+from conftest import maybe_streamed
+
 DEGENERATE_SHAPES = [(0, 5), (5, 0), (0, 0), (1, 1), (1, 8), (8, 1)]
 
 
 @pytest.mark.parametrize("shape", DEGENERATE_SHAPES)
 class TestFormatsDegenerate:
-    def test_empty_roundtrips(self, shape):
-        m = CSRMatrix.empty(shape)
+    def test_empty_roundtrips(self, shape, streamed):
+        m = maybe_streamed(CSRMatrix.empty(shape), streamed)
         m.validate()
         assert m.to_coo().to_csr().allclose(m)
         assert csr_to_csc(m).to_csr().allclose(m)
@@ -58,16 +60,16 @@ class TestSimilarityDegenerate:
 
 @pytest.mark.parametrize("shape", DEGENERATE_SHAPES)
 class TestPipelineDegenerate:
-    def test_build_plan_and_kernels(self, shape):
-        m = CSRMatrix.empty(shape)
+    def test_build_plan_and_kernels(self, shape, streamed):
+        m = maybe_streamed(CSRMatrix.empty(shape), streamed)
         plan = build_plan(m, ReorderConfig(siglen=8, panel_height=2))
         X = np.ones((shape[1], 3))
         np.testing.assert_allclose(plan.spmm(X), np.zeros((shape[0], 3)))
         Y = np.ones((shape[0], 3))
         assert plan.sddmm(X, Y).nnz == 0
 
-    def test_direct_kernels(self, shape, backend_name):
-        m = CSRMatrix.empty(shape)
+    def test_direct_kernels(self, shape, backend_name, streamed):
+        m = maybe_streamed(CSRMatrix.empty(shape), streamed)
         X = np.ones((shape[1], 2))
         np.testing.assert_allclose(
             spmm(m, X, backend=backend_name), np.zeros((shape[0], 2))
@@ -101,10 +103,10 @@ class TestModelDegenerateNonEmptyShapes:
 
 
 class TestSingleRowMatrix:
-    def test_full_pipeline_single_row(self, rng):
+    def test_full_pipeline_single_row(self, rng, streamed):
         dense = np.zeros((1, 16))
         dense[0, [2, 7, 9]] = 1.0
-        m = CSRMatrix.from_dense(dense)
+        m = maybe_streamed(CSRMatrix.from_dense(dense), streamed)
         plan = build_plan(m, ReorderConfig(siglen=8, panel_height=4))
         X = rng.normal(size=(16, 4))
         np.testing.assert_allclose(plan.spmm(X), spmm(m, X))

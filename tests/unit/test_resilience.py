@@ -155,6 +155,7 @@ class TestFaultInjector:
             "workspace.take": WorkspaceExhausted,
             "session.run": WorkspaceExhausted,
             "backend.compile": BackendUnavailable,
+            "streaming.update": TimeoutExceeded,
             "serve.pool_evict": ReproIOError,
             "serve.accept": ReproIOError,
         }

@@ -312,6 +312,25 @@ class TestSessionPool:
         pool.unpin(first)
         pool.unpin(first)
 
+    def test_invalidate_prefix_evicts_all_rungs_of_a_matrix(self):
+        pool = SessionPool(capacity=8, shards=2)
+        full = _put(pool, "fp1:full"); pool.unpin(full)
+        ident = _put(pool, "fp1:identity"); pool.unpin(ident)
+        other = _put(pool, "fp2:full"); pool.unpin(other)
+        assert pool.invalidate_prefix("fp1") == 2
+        assert full.session.closed and ident.session.closed
+        assert pool.pin("fp1:full") is None
+        assert pool.pin("fp2:full") is other  # untouched
+        pool.unpin(other)
+
+    def test_invalidate_prefix_leaves_pinned_entries_running(self):
+        pool = SessionPool(capacity=8, shards=1)
+        busy = _put(pool, "fp1:full")  # still pinned: a request is running
+        assert pool.invalidate_prefix("fp1") == 1
+        assert not busy.session.closed  # finishes on the detached session
+        assert pool.pin("fp1:full") is None  # but no new pins find it
+        pool.unpin(busy)
+
     def test_unpin_without_pin_raises(self):
         pool = SessionPool(capacity=4, shards=1)
         entry = _put(pool, "k")
@@ -566,6 +585,97 @@ class TestServerEndToEnd:
             assert metrics["status"] == STATUS_OK
             assert "serve.requests" in metrics["metrics"]
             assert metrics["metrics"]["serve.requests"] >= 1
+
+
+@pytest.fixture()
+def delta_served(rng):
+    """A dedicated server per test: delta requests mutate the registry."""
+    csr = random_csr(rng, 32, 24, density=0.15)
+    config = ServeConfig(port=0, workers=2, panel_height=8, chunk_k=16)
+    thread = ServerThread(config).start()
+    yield {"thread": thread, "csr": csr, "rng": rng}
+    thread.stop()
+
+
+class TestServerDelta:
+    def _delta(self, csr, rng, k=5):
+        from repro.streaming import DeltaBatch
+
+        return DeltaBatch(
+            rows=rng.integers(0, csr.n_rows, size=k),
+            cols=rng.integers(0, csr.n_cols, size=k),
+            values=rng.normal(size=k),
+        )
+
+    def test_delta_rotates_fingerprint_and_serves_mutated(self, delta_served):
+        csr, rng = delta_served["csr"], delta_served["rng"]
+        delta = self._delta(csr, rng)
+        mutated = delta.apply_to(csr)
+        X = np.asarray(rng.random((csr.n_cols, 6)), dtype=np.float64)
+        with ServeClient(delta_served["thread"].address) as client:
+            old = client.upload(csr)["fingerprint"]
+            resp = client.delta(old, delta)
+            assert resp["status"] == STATUS_OK
+            assert resp["previous_fingerprint"] == old
+            assert resp["nnz"] == mutated.nnz
+            assert resp["sessions_invalidated"] >= 0
+            new = resp["fingerprint"]
+            assert new != old
+            got = client.spmm(X, fingerprint=new)
+            assert got["status"] == STATUS_OK
+            np.testing.assert_allclose(
+                ServeClient.result_array(got), mutated.to_dense() @ X,
+                rtol=1e-12, atol=1e-12,
+            )
+            # The pre-delta fingerprint no longer serves stale results.
+            assert client.spmm(X, fingerprint=old)["status"] == STATUS_NOT_FOUND
+
+    def test_delta_invalidates_warm_sessions(self, delta_served):
+        csr, rng = delta_served["csr"], delta_served["rng"]
+        delta = self._delta(csr, rng)
+        X = np.asarray(rng.random((csr.n_cols, 4)), dtype=np.float64)
+        with ServeClient(delta_served["thread"].address) as client:
+            fingerprint = client.upload(csr)["fingerprint"]
+            client.spmm(X, fingerprint=fingerprint)  # warms a pooled session
+            resp = client.delta(fingerprint, delta)
+            assert resp["status"] == STATUS_OK
+            assert resp["sessions_invalidated"] >= 1
+
+    def test_set_delta_updates_served_values(self, delta_served):
+        from repro.streaming import DeltaBatch
+
+        csr, rng = delta_served["csr"], delta_served["rng"]
+        idx = np.sort(rng.choice(csr.nnz, size=3, replace=False))
+        delta = DeltaBatch(
+            rows=csr.row_ids()[idx], cols=csr.colidx[idx],
+            values=rng.normal(size=3), mode="set",
+        )
+        mutated = delta.apply_to(csr)
+        X = np.eye(csr.n_cols)
+        with ServeClient(delta_served["thread"].address) as client:
+            old = client.upload(csr)["fingerprint"]
+            new = client.delta(old, delta)["fingerprint"]
+            got = ServeClient.result_array(client.spmm(X, fingerprint=new))
+            np.testing.assert_allclose(
+                got, mutated.to_dense(), rtol=1e-12, atol=1e-12
+            )
+
+    def test_delta_unknown_fingerprint_is_not_found(self, delta_served):
+        csr, rng = delta_served["csr"], delta_served["rng"]
+        with ServeClient(delta_served["thread"].address) as client:
+            resp = client.delta("deadbeef", self._delta(csr, rng))
+            assert resp["status"] == STATUS_NOT_FOUND
+
+    def test_malformed_delta_is_an_error(self, delta_served):
+        csr = delta_served["csr"]
+        with ServeClient(delta_served["thread"].address) as client:
+            fingerprint = client.upload(csr)["fingerprint"]
+            resp = client.request(
+                {"op": "delta", "fingerprint": fingerprint,
+                 "delta": {"rows": "nope"}}
+            )
+            assert resp["status"] == STATUS_ERROR
+            assert client.ping()["status"] == STATUS_OK  # connection survives
 
 
 class TestServerDrain:
